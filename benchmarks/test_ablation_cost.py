@@ -1,0 +1,52 @@
+"""Ablation: single 15K-GPU pod vs multiple smaller pods (section 6.2).
+
+Paper's claim: covering 15K GPUs with one pod instead of several
+smaller pods "cuts unnecessary links and switches used for connecting
+multiple pods, saving the overall network building cost by around 30%".
+
+Reproduction at 1/8 scale: the same GPU count built as (a) one pod with
+no core layer vs (b) two half-size pods joined by a core layer, costed
+with the optics/switch model.
+"""
+
+import pytest
+from conftest import report
+
+from repro import HpnSpec, build_hpn
+from repro.hardware import network_cost, single_pod_vs_multi_pod_saving
+
+#: 1920 GPUs either way
+ONE_POD = HpnSpec(
+    pods=1, segments_per_pod=2, hosts_per_segment=120,
+    backup_hosts_per_segment=0, aggs_per_plane=60, agg_core_uplinks=0,
+)
+TWO_PODS = HpnSpec(
+    pods=2, segments_per_pod=1, hosts_per_segment=120,
+    backup_hosts_per_segment=0, aggs_per_plane=60,
+    agg_core_uplinks=4, cores_per_plane=15,
+)
+
+
+def test_ablation_single_pod_cost(benchmark):
+    single = benchmark.pedantic(build_hpn, args=(ONE_POD,), rounds=1, iterations=1)
+    multi = build_hpn(TWO_PODS)
+    assert single.gpu_count() == multi.gpu_count()
+
+    cost_single = network_cost(single)
+    cost_multi = network_cost(multi)
+    saving = single_pod_vs_multi_pod_saving(cost_single, cost_multi)
+    report(
+        "Ablation: one pod vs two pods at equal GPU count",
+        [
+            f"GPUs: {single.gpu_count()} each",
+            f"one pod : {len(single.switches):4d} switches, "
+            f"{len(single.links):6d} links, cost {cost_single:10,.0f}",
+            f"two pods: {len(multi.switches):4d} switches, "
+            f"{len(multi.links):6d} links, cost {cost_multi:10,.0f}",
+            f"single-pod saving: {saving:.1%} (paper: ~30%)",
+        ],
+    )
+    # the paper's shape: meaningful double-digit-percentage saving from
+    # dropping the inter-pod core layer
+    assert 0.15 < saving < 0.6
+    assert len(single.switches) < len(multi.switches)

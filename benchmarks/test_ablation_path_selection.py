@@ -1,0 +1,83 @@
+"""Ablation: optimized path selection (section 6.1's +34.7% test).
+
+Paper's experiment: four AllReduce tasks running concurrently on 512
+GPUs; the disjoint-path + least-WQE-bytes scheme improves collective
+performance by up to 34.7% over default path selection.
+
+Reproduction: four 16-host AllReduce groups sharing two segments of one
+HPN pod, with three path-selection policies:
+
+* optimized -- RePaC disjoint paths + WQE-counter scheduling;
+* blind multi-path -- same number of connections, hash-luck placement;
+* single connection -- the classic one-QP ECMP baseline.
+"""
+
+import pytest
+from conftest import report
+
+from repro import Cluster, HpnSpec
+from repro.collective import SingleConnectionPolicy
+from repro.collective.model import ring_allreduce_edge_bytes
+from repro.core.units import GB
+from repro.fabric.simulator import FluidSimulator
+
+
+@pytest.fixture(scope="module")
+def pod():
+    # 64 hosts (512 GPUs) across two segments: concurrent groups create
+    # cross-segment contention that path selection must dodge
+    return Cluster.hpn(
+        HpnSpec(segments_per_pod=2, hosts_per_segment=32,
+                backup_hosts_per_segment=0, aggs_per_plane=8)
+    )
+
+
+def _four_groups():
+    """Four 16-host groups, each straddling the two segments."""
+    groups = []
+    for g in range(4):
+        base = g * 8
+        groups.append(
+            [f"pod0/seg0/host{base + i}" for i in range(8)]
+            + [f"pod0/seg1/host{base + i}" for i in range(8)]
+        )
+    return groups
+
+
+def _concurrent_allreduce_time(pod, policy_kwargs):
+    per_edge = ring_allreduce_edge_bytes(1 * GB / 8, 16)
+    flows = []
+    for gidx, hosts in enumerate(_four_groups()):
+        comm = pod.communicator(hosts, **policy_kwargs)
+        flows.extend(
+            comm.all_rails_ring_flows(per_edge, tag=f"group{gidx}")
+        )
+    sim = FluidSimulator(pod.topo)
+    sim.add_flows(flows)
+    return sim.run().finish_time
+
+
+def test_ablation_optimized_path_selection(benchmark, pod):
+    optimized = benchmark.pedantic(
+        _concurrent_allreduce_time,
+        args=(pod, dict(num_conns=2, disjoint_paths=True)),
+        rounds=1, iterations=1,
+    )
+    blind = _concurrent_allreduce_time(pod, dict(num_conns=2, disjoint_paths=False))
+    single = _concurrent_allreduce_time(
+        pod, dict(num_conns=2, disjoint_paths=False,
+                  policy=SingleConnectionPolicy())
+    )
+    gain_vs_blind = blind / optimized - 1
+    gain_vs_single = single / optimized - 1
+    report(
+        "Ablation: 4 concurrent AllReduce on 512 GPUs",
+        [
+            f"optimized (disjoint + WQE LB): {optimized*1e3:7.2f} ms",
+            f"blind multi-path             : {blind*1e3:7.2f} ms ({gain_vs_blind:+.1%} slower)",
+            f"single connection            : {single*1e3:7.2f} ms ({gain_vs_single:+.1%} slower)",
+            "(paper: optimized scheme up to +34.7% faster)",
+        ],
+    )
+    assert optimized <= blind
+    assert gain_vs_single > 0.2

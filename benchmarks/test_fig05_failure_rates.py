@@ -1,0 +1,38 @@
+"""Figure 5: monthly NIC-ToR link failure ratio.
+
+Paper's series: ~0.057% of access links fail each month (with ~0.051%
+of ToRs hitting critical errors), which at 3K-GPU scale translates to
+1-2 training crashes per month -- the motivation for dual-ToR.
+"""
+
+from conftest import report
+
+from repro.reliability import (
+    MONTHLY_LINK_FAILURE_RATE,
+    MONTHLY_TOR_FAILURE_RATE,
+    expected_crashes_per_month,
+    monthly_series,
+)
+
+
+def test_fig05_link_failure_ratio(benchmark):
+    series = benchmark.pedantic(
+        monthly_series, kwargs={"months": 12}, rounds=3, iterations=1
+    )
+    report(
+        "Figure 5: monthly link failure ratio",
+        [f"{label}: {ratio:.4%}" for label, ratio in series]
+        + [
+            f"mean link rate: {sum(r for _l, r in series)/len(series):.4%} "
+            f"(paper: {MONTHLY_LINK_FAILURE_RATE:.3%})",
+            f"ToR critical-error rate (paper): {MONTHLY_TOR_FAILURE_RATE:.3%}",
+            f"3K-GPU job crashes/month: {expected_crashes_per_month(3000):.2f}",
+        ],
+    )
+
+    mean = sum(r for _l, r in series) / len(series)
+    # series hovers around the paper's 0.057% within its jitter band
+    assert 0.5 * MONTHLY_LINK_FAILURE_RATE < mean < 1.5 * MONTHLY_LINK_FAILURE_RATE
+    assert all(r < 0.001 for _l, r in series)  # Figure 5's y-axis (<0.1%)
+    # the paper's operational conclusion: 1-2 crashes/month at 3K GPUs
+    assert 1.0 <= expected_crashes_per_month(3000) <= 2.5

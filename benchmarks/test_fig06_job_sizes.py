@@ -1,0 +1,27 @@
+"""Figure 6: GPUs requested by production training jobs (CDF).
+
+Paper's anchors: 96.3% of jobs need at most 1K GPUs (one HPN segment),
+and no job exceeds 3K -- the statistics that size the segment at 1K and
+the pod at 15K.
+"""
+
+from conftest import report
+
+from repro.workloads import JobSizeModel, cdf_points
+
+
+def test_fig06_job_size_cdf(benchmark):
+    model = JobSizeModel()
+    samples = benchmark.pedantic(
+        model.sample, args=(10_000,), kwargs={"seed": 29}, rounds=3, iterations=1
+    )
+    pts = cdf_points(samples)
+    report(
+        "Figure 6: job-size CDF",
+        [f"gpus <= {x:5d}: {f:6.1%}" for x, f in pts],
+    )
+
+    frac_1k = sum(1 for s in samples if s <= 1024) / len(samples)
+    assert abs(frac_1k - 0.963) < 0.02       # one-segment fraction
+    assert max(samples) < 3200               # "less than 3K GPUs"
+    assert model.fraction_at_most(15360) == 1.0  # one pod covers 100%

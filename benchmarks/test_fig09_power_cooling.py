@@ -1,0 +1,50 @@
+"""Figure 9: 51.2T chip power draw and cooling-solution headroom.
+
+Paper's bars: (a) chip power grows with capacity, +45% from 25.6T to
+51.2T; (b) heat pipe and stock vapor chamber fall short of the 51.2T
+chip's draw (over-temperature shutdowns) while the customized VC with
++15% cooling efficiency holds full power.
+"""
+
+import pytest
+from conftest import report
+
+from repro.hardware import (
+    GENERATIONS,
+    HPN_TOR_PORTS,
+    cooling_report,
+    generation,
+    optimization_gain,
+    power_increase,
+)
+
+
+def test_fig09a_chip_power(benchmark):
+    gens = benchmark.pedantic(lambda: list(GENERATIONS), rounds=3, iterations=1)
+    report(
+        "Figure 9a: power by chip generation",
+        [f"{g.name:>7}: {g.power_watts:5.0f} W" for g in gens],
+    )
+    assert power_increase("25.6T", "51.2T") == pytest.approx(0.45)
+    powers = [g.power_watts for g in gens]
+    assert powers == sorted(powers)
+
+
+def test_fig09b_cooling_efficiency(benchmark):
+    data = benchmark.pedantic(cooling_report, rounds=3, iterations=1)
+    chip = generation("51.2T")
+    report(
+        "Figure 9b: cooling capacity vs 51.2T full power",
+        [
+            f"{name:<13}: allows {d['allowed_power_watts']:5.0f} W "
+            f"(chip {chip.power_watts:.0f} W) -> "
+            + ("OK" if d["supports_full_power"] else "SHUTDOWN")
+            for name, d in data.items()
+        ],
+    )
+    assert not data["Heat Pipe"]["supports_full_power"]
+    assert not data["Original VC"]["supports_full_power"]
+    assert data["Optimized VC"]["supports_full_power"]
+    assert abs(optimization_gain() - 0.15) < 1e-9
+    # section 5.1's port layout exactly fills the chip
+    assert HPN_TOR_PORTS.fits_chip()

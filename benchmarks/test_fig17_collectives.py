@@ -1,0 +1,92 @@
+"""Figure 17: collective-communication busbw at 448 GPUs.
+
+Paper's series over 1 MB..4 GB message sizes:
+
+* (a) AllReduce: HPN wins, up to +59.3% (one segment -> no contention);
+* (b) AllGather: near-parity -- NVLS cannot accelerate gathers, so both
+  fabrics are NVSwitch-bound;
+* (c) Multi-AllReduce (TP=8 gradient sync, all bytes inter-host): the
+  largest gap, up to +158.2%.
+"""
+
+import pytest
+from conftest import dcn_hosts_fragmented, hpn_hosts, report
+
+from repro.collective import allgather, allreduce, multi_allreduce
+from repro.core.units import GB, MB
+
+SIZES = [1 * MB, 4 * MB, 16 * MB, 64 * MB, 256 * MB, 1 * GB, 4 * GB]
+
+
+@pytest.fixture(scope="module")
+def comms(hpn_448, dcn_448):
+    h = hpn_448.communicator(hpn_hosts(56))
+    d = dcn_448.communicator(dcn_hosts_fragmented(dcn_448, 56))
+    return h, d
+
+
+def _sweep(op, comm, sizes):
+    return [op(comm, size) for size in sizes]
+
+
+def test_fig17a_allreduce(benchmark, comms):
+    h_comm, d_comm = comms
+    h = benchmark.pedantic(_sweep, args=(allreduce, h_comm, SIZES), rounds=1, iterations=1)
+    d = _sweep(allreduce, d_comm, SIZES)
+    lines, gains = [], []
+    for size, hr, dr in zip(SIZES, h, d):
+        gain = hr.busbw_gb_per_sec / dr.busbw_gb_per_sec - 1
+        gains.append(gain)
+        lines.append(
+            f"{size/MB:7.0f} MB: HPN {hr.busbw_gb_per_sec:6.1f} GB/s  "
+            f"DCN+ {dr.busbw_gb_per_sec:6.1f} GB/s  ({gain:+.1%})"
+        )
+    lines.append(f"max gain: {max(gains):+.1%} (paper: up to +59.3%)")
+    report("Figure 17a: AllReduce busbw", lines)
+    assert all(g >= -0.01 for g in gains)      # HPN never loses
+    assert max(gains) > 0.3                    # large-message gap is big
+    assert gains[-1] >= gains[0] - 0.05        # gap grows with size
+
+
+def test_fig17b_allgather(benchmark, comms):
+    h_comm, d_comm = comms
+    h = benchmark.pedantic(_sweep, args=(allgather, h_comm, SIZES), rounds=1, iterations=1)
+    d = _sweep(allgather, d_comm, SIZES)
+    lines, gaps = [], []
+    for size, hr, dr in zip(SIZES, h, d):
+        gap = abs(hr.busbw_gb_per_sec / dr.busbw_gb_per_sec - 1)
+        gaps.append(gap)
+        lines.append(
+            f"{size/MB:7.0f} MB: HPN {hr.busbw_gb_per_sec:6.1f} GB/s  "
+            f"DCN+ {dr.busbw_gb_per_sec:6.1f} GB/s"
+        )
+    report("Figure 17b: AllGather busbw (NVSwitch-bound parity)", lines)
+    # parity at the large sizes where the NVSwitch ceiling binds
+    assert all(g < 0.15 for g in gaps[-3:])
+
+
+def test_fig17c_multi_allreduce(benchmark, comms):
+    h_comm, d_comm = comms
+    sizes = SIZES[:-1]  # 4 GB x 8 rails would dwarf the others' runtime
+    h = benchmark.pedantic(
+        _sweep, args=(multi_allreduce, h_comm, sizes), rounds=1, iterations=1
+    )
+    d = _sweep(multi_allreduce, d_comm, sizes)
+    lines, gains = [], []
+    for size, hr, dr in zip(sizes, h, d):
+        gain = hr.busbw_gb_per_sec / dr.busbw_gb_per_sec - 1
+        gains.append(gain)
+        lines.append(
+            f"{size/MB:7.0f} MB: HPN {hr.busbw_gb_per_sec:6.1f} GB/s  "
+            f"DCN+ {dr.busbw_gb_per_sec:6.1f} GB/s  ({gain:+.1%})"
+        )
+    lines.append(f"max gain: {max(gains):+.1%} (paper: up to +158.2%)")
+    report("Figure 17c: Multi-AllReduce busbw", lines)
+    assert max(gains) > 0.8
+    # the multi-AllReduce gap exceeds the plain AllReduce gap
+    ar_gain = (
+        allreduce(h_comm, 256 * MB).busbw_gb_per_sec
+        / allreduce(d_comm, 256 * MB).busbw_gb_per_sec
+        - 1
+    )
+    assert max(gains) > ar_gain

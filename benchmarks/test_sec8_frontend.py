@@ -1,0 +1,101 @@
+"""Section 8: the independent frontend network.
+
+Paper's claims benched here:
+
+* the frontend is a physically separate 3-tier network with 1:1
+  convergence at aggregation and core;
+* storage hosts (CPFS/OSS, 96-128 hosts) live only there;
+* the 2x200G frontend NIC supports inference serving on training hosts
+  -- the network is never the bottleneck for realistic request mixes;
+* frontend traffic cannot perturb backend training (disjoint fabrics).
+"""
+
+import pytest
+from conftest import report
+
+from repro import FrontendSpec, build_frontend
+from repro.topos import oversubscription_report, validate
+from repro.training import (
+    GPT3_175B,
+    InferenceWorkload,
+    LLAMA_7B,
+    ServingHost,
+    frontend_supports_inference,
+)
+
+
+@pytest.fixture(scope="module")
+def frontend():
+    return build_frontend(
+        FrontendSpec(compute_hosts=32, storage_hosts=96,
+                     hosts_per_tor_pair=32, aggs=4, cores=4)
+    )
+
+
+def test_sec8_frontend_structure(benchmark, frontend):
+    benchmark.pedantic(validate, args=(frontend,), rounds=1, iterations=1)
+    ratios = oversubscription_report(frontend)
+    storage = frontend.meta["storage_hosts"]
+    report(
+        "Section 8: frontend network structure",
+        [
+            f"hosts: {len(frontend.hosts)} ({len(storage)} storage)",
+            f"aggregation convergence: {ratios.get('agg', 0):.2f}:1 (paper: 1:1)",
+            "every frontend NIC dual-homed (non-stacked dual-ToR)",
+        ],
+    )
+    assert ratios["agg"] == pytest.approx(1.0)
+    assert 96 <= len(storage) <= 128
+    # dual-homed access
+    host = frontend.hosts["fe/compute0"]
+    nic = host.frontend_nic()
+    tors = {
+        frontend.links[frontend.port(p).link_id].other(host.name).node
+        for p in nic.ports
+    }
+    assert len(tors) == 2
+
+
+def test_sec8_inference_serving(benchmark):
+    wl = InferenceWorkload(prompt_tokens=512, output_tokens=256)
+    host = ServingHost()
+
+    def check():
+        return {
+            cfg.name: (
+                host.requests_per_sec(cfg, wl),
+                host.bottleneck(cfg, wl),
+                frontend_supports_inference(cfg, wl, host),
+            )
+            for cfg in (LLAMA_7B, GPT3_175B)
+        }
+
+    results = benchmark.pedantic(check, rounds=3, iterations=1)
+    report(
+        "Section 8: inference on training hosts over the frontend NIC",
+        [
+            f"{name}: {rps:8.1f} req/s, bottleneck={bn}, frontend OK={ok}"
+            for name, (rps, bn, ok) in results.items()
+        ],
+    )
+    for _name, (_rps, bottleneck, ok) in results.items():
+        assert bottleneck == "compute"   # the 400G NIC never binds
+        assert ok
+
+
+def test_sec8_physical_decoupling(benchmark, frontend, hpn_256):
+    """Frontend and backend share no links: storage/inference bursts
+    cannot appear on any backend port by construction."""
+    backend = hpn_256.topo
+
+    def disjointness():
+        front_nodes = set(frontend.hosts) | set(frontend.switches)
+        back_nodes = set(backend.hosts) | set(backend.switches)
+        return front_nodes & back_nodes
+
+    shared = benchmark.pedantic(disjointness, rounds=3, iterations=1)
+    report(
+        "Section 8: physical decoupling",
+        [f"nodes shared between frontend and backend fabrics: {len(shared)}"],
+    )
+    assert shared == set()

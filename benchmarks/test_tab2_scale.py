@@ -1,0 +1,47 @@
+"""Table 2: key mechanisms affecting HPN's maximal scale.
+
+Paper's build-up: 64 -> 128 (dual-ToR x2) -> 1K (rail-optimized x8) at
+tier 1; 2K -> 4K -> 8K (dual-plane x2) -> 15K (15:1 oversubscription
+x1.875) at tier 2. Cross-checked against actually-built topologies.
+"""
+
+from conftest import report
+
+from repro.analysis import table2
+from repro.topos import HpnSpec, build_hpn
+
+
+def test_tab2_mechanism_buildup(benchmark):
+    rows = benchmark.pedantic(table2, args=(HpnSpec(),), rounds=3, iterations=1)
+    report(
+        "Table 2: scale mechanisms",
+        [
+            f"{r.mechanism:<28} tier1={r.tier1_gpus:>5}  tier2={r.tier2_gpus:>6}  {r.note}"
+            for r in rows
+        ],
+    )
+    by_mech = {r.mechanism: r for r in rows}
+    assert by_mech["51.2Tbps Clos"].tier1_gpus == 64
+    assert by_mech["Dual-ToR"].tier1_gpus == 128
+    assert by_mech["Rail-optimized"].tier1_gpus == 1024
+    assert by_mech["Dual-plane"].tier2_gpus == 8192
+    assert abs(rows[-1].tier2_gpus - 15360) / 15360 < 0.02
+
+
+def test_tab2_built_topology_agrees(benchmark):
+    """The generator actually produces the Table 2 end state."""
+    spec = HpnSpec()
+    topo = benchmark.pedantic(build_hpn, args=(spec,), rounds=1, iterations=1)
+    report(
+        "Table 2 cross-check (built at production scale)",
+        [
+            f"GPUs per segment: {spec.gpus_per_segment} (built: "
+            f"{sum(1 for h in topo.hosts.values() if h.segment == 0 and not h.backup) * 8})",
+            f"GPUs per pod: {topo.gpu_count()}",
+        ],
+    )
+    assert topo.gpu_count() == 15360
+    assert spec.gpus_per_segment == 1024
+    # dual-plane halves ToR-Agg links: each ToR has 60 uplinks to one
+    # plane's 60 aggs rather than 120 links across both
+    assert len(topo.up_ports("pod0/seg0/tor-r0p0")) == 60

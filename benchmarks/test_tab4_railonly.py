@@ -1,0 +1,70 @@
+"""Table 4: any-to-any tier-2 vs rail-only tier-2.
+
+Paper's trade-off: rail-only tier-2 would cover 122,880 GPUs per pod
+(8x) with 16 planes, but can only carry intra-rail traffic -- breaking
+MoE all-to-all and multi-tenant serverless. The bench regenerates the
+table and demonstrates the communication limitation concretely: an
+all-to-all on the rail-only fabric pays an NVLink relay penalty that
+the any-to-any fabric avoids.
+"""
+
+import pytest
+from conftest import report
+
+from repro import Cluster, HpnSpec, RailOnlySpec, build_railonly
+from repro.analysis import table4
+from repro.collective import Communicator, all_to_all
+from repro.core.units import MB
+from repro.routing import Router
+
+
+def test_tab4_scale_accounting(benchmark):
+    rows = benchmark.pedantic(table4, rounds=3, iterations=1)
+    any_to_any, rail = rows
+    report(
+        "Table 4: tier-2 design comparison",
+        [
+            f"{r.design:<18} planes={r.tier2_planes:>2}  GPUs/pod={r.gpus_per_pod:>6}  "
+            f"limitation={r.communication_limitation}"
+            for r in rows
+        ],
+    )
+    assert any_to_any.gpus_per_pod == 15360
+    assert rail.gpus_per_pod == 122880
+    assert rail.gpus_per_pod == 8 * any_to_any.gpus_per_pod
+    assert rail.tier2_planes == 16
+
+
+def test_tab4_rail_only_breaks_all_to_all(benchmark):
+    """MoE-style all-to-all: rail-only must relay cross-rail bytes over
+    NVLink; any-to-any carries them directly."""
+    hpn = Cluster.hpn(
+        HpnSpec(segments_per_pod=2, hosts_per_segment=4,
+                backup_hosts_per_segment=0, aggs_per_plane=4)
+    )
+    rail_topo = build_railonly(
+        RailOnlySpec(segments_per_pod=2, hosts_per_segment=4, aggs_per_plane=4)
+    )
+    rail_comm = Communicator(
+        rail_topo, Router(rail_topo),
+        ["seg0/host0", "seg0/host1", "seg1/host0", "seg1/host1"],
+    )
+    hpn_comm = hpn.communicator(
+        ["pod0/seg0/host0", "pod0/seg0/host1", "pod0/seg1/host0", "pod0/seg1/host1"]
+    )
+
+    size = 256 * MB
+    hpn_res = benchmark.pedantic(all_to_all, args=(hpn_comm, size), rounds=1, iterations=1)
+    rail_res = all_to_all(rail_comm, size)
+    report(
+        "Table 4 consequence: 32-GPU all-to-all (256 MB/rank)",
+        [
+            f"any-to-any: {hpn_res.seconds*1e3:7.2f} ms "
+            f"(relay {hpn_res.relay_seconds*1e3:.2f} ms)",
+            f"rail-only : {rail_res.seconds*1e3:7.2f} ms "
+            f"(relay {rail_res.relay_seconds*1e3:.2f} ms)",
+        ],
+    )
+    assert hpn_res.relay_seconds == 0.0
+    assert rail_res.relay_seconds > 0.0
+    assert rail_res.seconds > hpn_res.seconds

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Design-space explorer: the paper's architecture accounting tables.
+
+Prints Table 1 (path-selection complexity), Table 2 (scale mechanisms),
+Table 4 (any-to-any vs rail-only), the chip power/cooling feasibility
+of Figure 9, and the single-building cost lesson -- all as functions of
+the architecture parameters, so you can perturb a spec and see what
+breaks.
+
+Run:  python examples/design_explorer.py
+"""
+
+from repro import HpnSpec, build_hpn
+from repro.analysis import table2, table4
+from repro.hardware import (
+    GENERATIONS,
+    HPN_TOR_PORTS,
+    cooling_report,
+    network_cost,
+    power_increase,
+    transceiver_saving,
+)
+from repro.routing import table1
+from repro.topos import table1_cards
+
+
+def main() -> None:
+    print("== Table 1: path-selection complexity ==")
+    for row in table1(table1_cards()):
+        print(
+            f"  {row.name:<18} {row.supported_gpus:>6} GPUs  {row.tiers} tiers  "
+            f"LB at {row.lb_switch_roles:<22} O({row.complexity})"
+        )
+
+    print("\n== Table 2: how each mechanism scales HPN ==")
+    for row in table2(HpnSpec()):
+        print(
+            f"  {row.mechanism:<26} tier1={row.tier1_gpus:>5}  "
+            f"tier2={row.tier2_gpus:>6}  {row.note}"
+        )
+
+    print("\n== Table 4: any-to-any vs rail-only tier-2 ==")
+    for row in table4():
+        print(
+            f"  {row.design:<18} planes={row.tier2_planes:>2}  "
+            f"GPUs/pod={row.gpus_per_pod:>6}  limits={row.communication_limitation}"
+        )
+
+    print("\n== Figure 9a: chip power by generation ==")
+    for gen in GENERATIONS:
+        print(f"  {gen.name:<7} {gen.power_watts:6.0f} W  ({gen.watts_per_tbps:.1f} W/Tbps)")
+    print(f"  51.2T vs 25.6T: {power_increase('25.6T', '51.2T'):+.0%}")
+
+    print("\n== Figure 9b: cooling feasibility for the 51.2T chip ==")
+    for name, data in cooling_report().items():
+        verdict = "OK" if data["supports_full_power"] else "OVER-TEMP SHUTDOWN"
+        print(
+            f"  {name:<13} allows {data['allowed_power_watts']:5.0f} W "
+            f"(chip draws {data['chip_power_watts']:.0f} W, "
+            f"Tj={data['junction_at_full_power']:.0f}C) -> {verdict}"
+        )
+    print(f"  ToR port budget check: {HPN_TOR_PORTS.used_gbps():.0f} of "
+          f"{HPN_TOR_PORTS.chip.capacity_gbps:.0f} Gbps used")
+
+    print("\n== Section 10: single-building economics ==")
+    pod = build_hpn(HpnSpec(segments_per_pod=4, hosts_per_segment=32,
+                            backup_hosts_per_segment=0, aggs_per_plane=16))
+    in_building = network_cost(pod, cross_building_fraction=0.0)
+    cross = network_cost(pod, cross_building_fraction=1.0)
+    print(f"  multimode optics saving per transceiver: {transceiver_saving():.0%}")
+    print(f"  all-in-one-building cost {in_building:,.0f} vs "
+          f"single-mode-everywhere {cross:,.0f} "
+          f"({1 - in_building / cross:.0%} cheaper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Generate the full comparison report as markdown.
+
+Runs scaled versions of every headline experiment and writes
+``hpn_report.md`` (or a path given as the first argument).
+
+Run:  python examples/full_report.py [output.md]
+"""
+
+import sys
+
+from repro.analysis.report import ReportConfig, generate_report
+
+
+def main() -> None:
+    out = sys.argv[1] if len(sys.argv) > 1 else "hpn_report.md"
+    report = generate_report(ReportConfig())
+    with open(out, "w") as fh:
+        fh.write(report)
+    print(report)
+    print(f"\n(written to {out})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Operational lessons from sections 8 and 10, end to end.
+
+Walks through: INT wiring verification after injected cable swaps, an
+asymmetric link fault with buggy LFS firmware, the storage-placement
+decision, MoE all-to-all on rail-only vs any-to-any tier-2, and
+inference serving over the frontend NIC.
+
+Run:  python examples/operations_lessons.py
+"""
+
+from repro import Cluster, HpnSpec, RailOnlySpec, build_railonly
+from repro.collective import Communicator
+from repro.core.units import GB
+from repro.routing import Router
+from repro.telemetry import LfsModel, swap_access_links, verify_wiring
+from repro.training import (
+    GPT3_175B,
+    InferenceWorkload,
+    LLAMA_7B,
+    MoeConfig,
+    ServingHost,
+    placement_report,
+    rail_only_penalty,
+    simulate_moe_exchange,
+    training_perturbation,
+)
+
+
+def wiring_drill(cluster) -> None:
+    print("== INT wiring verification ==")
+    topo = cluster.topo
+    print(f"clean build: {len(verify_wiring(topo))} faults")
+    a = topo.hosts["pod0/seg0/host0"].nic_for_rail(0)
+    b = topo.hosts["pod0/seg0/host1"].nic_for_rail(1)
+    swap_access_links(topo, a, b, port=0)
+    faults = verify_wiring(topo)
+    print(f"after one cable swap: {len(faults)} faults")
+    for fault in faults:
+        print(f"  {fault.detail}")
+    # swap back so the rest of the demo uses a clean fabric
+    swap_access_links(topo, a, b, port=0)
+
+
+def lfs_drill(cluster) -> None:
+    print("\n== Asymmetric link with LFS firmware bug ==")
+    topo = cluster.topo
+    nic = topo.hosts["pod0/seg0/host0"].nic_for_rail(0)
+    link_id = topo.port(nic.ports[0]).link_id
+    model = LfsModel(topo)
+    model.inject_asymmetric_fault(link_id, 0, loss=0.03, victim_honours_lfs=False)
+    outcome = model.apply(link_id)
+    print(f"LFS outcome: {outcome.value}")
+    print(f"goodput through the bad direction: {model.goodput_factor(link_id, 0):.1%}")
+    print("dual-ToR keeps the NIC reachable via the other plane either way")
+
+
+def storage_decision(cluster) -> None:
+    print("\n== Storage-cluster placement ==")
+    for row in placement_report():
+        print(
+            f"  {row['placement']:<9} checkpoint write {row['checkpoint_write_seconds']:5.1f}s | "
+            f"proxy needed: {row['needs_external_proxy']} | "
+            f"perturbs training: {row['perturbs_training']}"
+        )
+    comm = cluster.communicator([f"pod0/seg0/host{i}" for i in range(8)])
+    slowdown = training_perturbation(comm, 2 * GB, 4 * GB)
+    print(f"  backend checkpoint bursts slow gradient sync by {slowdown:+.1%}")
+
+
+def moe_comparison() -> None:
+    print("\n== MoE all-to-all: any-to-any vs rail-only tier-2 ==")
+    moe = MoeConfig(GPT3_175B, num_experts=16)
+    any_cluster = Cluster.hpn(
+        HpnSpec(segments_per_pod=1, hosts_per_segment=8,
+                backup_hosts_per_segment=0, aggs_per_plane=4)
+    )
+    rail_topo = build_railonly(
+        RailOnlySpec(segments_per_pod=1, hosts_per_segment=8, aggs_per_plane=4)
+    )
+    hosts_a = [f"pod0/seg0/host{i}" for i in range(8)]
+    hosts_r = [f"seg0/host{i}" for i in range(8)]
+    a2a = simulate_moe_exchange(any_cluster.communicator(hosts_a), moe)
+    rail = simulate_moe_exchange(
+        Communicator(rail_topo, Router(rail_topo), hosts_r), moe
+    )
+    print(f"  any-to-any: {a2a.total_seconds*1e3:7.1f} ms per iteration of MoE layers")
+    print(f"  rail-only : {rail.total_seconds*1e3:7.1f} ms "
+          f"({rail_only_penalty(a2a, rail):+.0%}, NVLink relays included)")
+
+
+def inference_check() -> None:
+    print("\n== Inference over the frontend NIC ==")
+    wl = InferenceWorkload()
+    host = ServingHost()
+    for cfg in (LLAMA_7B, GPT3_175B):
+        print(
+            f"  {cfg.name:<11} {host.requests_per_sec(cfg, wl):8.1f} req/s, "
+            f"bottleneck: {host.bottleneck(cfg, wl)}"
+        )
+
+
+def main() -> None:
+    cluster = Cluster.hpn(
+        HpnSpec(segments_per_pod=2, hosts_per_segment=8,
+                backup_hosts_per_segment=0, aggs_per_plane=4)
+    )
+    wiring_drill(cluster)
+    lfs_drill(cluster)
+    storage_decision(cluster)
+    moe_comparison()
+    inference_check()
+
+
+if __name__ == "__main__":
+    main()

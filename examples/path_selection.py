@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Optimized path selection in action (paper 6.1, Appendix B).
+
+Shows RePaC-style disjoint-path discovery, the WQE-counter scheduler
+steering messages away from a congested connection, and the resulting
+throughput difference against a blind-ECMP baseline.
+
+Run:  python examples/path_selection.py
+"""
+
+from repro import Cluster, HpnSpec
+from repro.collective import (
+    LeastLoadedPolicy,
+    MessageScheduler,
+    SingleConnectionPolicy,
+    allreduce,
+)
+from repro.collective.lb import Connection
+from repro.core.units import MB
+from repro.routing import find_paths, max_disjoint_paths
+from repro.routing.path import FlowPath
+
+
+def main() -> None:
+    cluster = Cluster.hpn(
+        HpnSpec(segments_per_pod=2, hosts_per_segment=16,
+                backup_hosts_per_segment=0, aggs_per_plane=8)
+    )
+    topo, router = cluster.topo, cluster.router
+
+    # --- Algorithm 1: EstablishConns over disjoint paths ----------------
+    a = topo.hosts["pod0/seg0/host0"].nic_for_rail(0)
+    b = topo.hosts["pod0/seg1/host0"].nic_for_rail(0)
+    found = find_paths(router, a, b, dport=4791, num_paths=4, plane=0)
+    print(f"probed {found.attempts} source ports, kept {len(found.probes)} disjoint paths:")
+    for probe in found.probes:
+        print(f"  sport={probe.sport}: {' -> '.join(probe.path.nodes[1:-1])}")
+    print(f"max disjoint paths on plane 0: "
+          f"{max_disjoint_paths(router, a, b, plane=0, sport_span=512)} "
+          f"(= ToR uplink fan-out, Table 1's O(60) at production scale)")
+
+    # --- Algorithm 2: least-WQE-bytes scheduling -------------------------
+    conns = [Connection(i, FlowPath(nodes=["x", "y"], dirlinks=[i])) for i in range(4)]
+    sched = MessageScheduler(conns, LeastLoadedPolicy())
+    # connection 0 rides a congested path draining at 1/5 the rate
+    sched.send_all([4.0] * 256, drain_weights=[0.2, 1.0, 1.0, 1.0])
+    print("\nWQE scheduler byte split over 4 connections "
+          "(first one congested):")
+    for i, total in enumerate(sched.assigned_bytes()):
+        print(f"  conn {i}: {total:6.1f} MB-equivalents")
+
+    # --- end-to-end effect on a collective -------------------------------
+    hosts = [f"pod0/seg{s}/host{i}" for s in range(2) for i in range(16)]
+    optimized = cluster.communicator(hosts, num_conns=2)
+    blind = cluster.communicator(hosts, num_conns=2, disjoint_paths=False)
+    naive = cluster.communicator(
+        hosts, num_conns=2, disjoint_paths=False, policy=SingleConnectionPolicy()
+    )
+    for name, comm in (("optimized (disjoint+LB)", optimized),
+                       ("blind multi-path", blind),
+                       ("single connection", naive)):
+        res = allreduce(comm, 512 * MB)
+        print(f"{name:<24} AllReduce busbw {res.busbw_gb_per_sec:6.1f} GB/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: build an HPN segment, route a flow, run an AllReduce.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, HpnSpec, validate
+from repro.collective import allgather, allreduce
+from repro.core.units import GB, MB
+from repro.routing import FiveTuple
+
+
+def main() -> None:
+    # a scaled-down HPN: one segment of 16 hosts (128 GPUs), dual-plane
+    spec = HpnSpec(
+        segments_per_pod=2,
+        hosts_per_segment=16,
+        backup_hosts_per_segment=1,
+        aggs_per_plane=8,
+    )
+    cluster = Cluster.hpn(spec)
+    validate(cluster.topo)
+    print("built:", cluster.topo.summary())
+    print(f"ToR oversubscription: {spec.tor_oversubscription:.3f}:1")
+
+    # --- route one RDMA flow across segments ---------------------------
+    topo = cluster.topo
+    a = topo.hosts["pod0/seg0/host0"].nic_for_rail(3)
+    b = topo.hosts["pod0/seg1/host5"].nic_for_rail(3)
+    ft = FiveTuple(a.ip, b.ip, sport=49152, dport=4791)
+    for plane in (0, 1):
+        path = cluster.router.path_for(a, b, ft, plane=plane)
+        print(f"plane {plane} path: {' -> '.join(path.nodes)}")
+
+    # --- collectives on 8 hosts (64 GPUs) -------------------------------
+    hosts = cluster.place(8)
+    comm = cluster.communicator(hosts)
+    for size in (64 * MB, 1 * GB):
+        ar = allreduce(comm, size)
+        ag = allgather(comm, size)
+        print(
+            f"size {size/MB:6.0f} MB | AllReduce {ar.busbw_gb_per_sec:6.1f} GB/s "
+            f"({ar.seconds*1e3:.2f} ms) | AllGather {ag.busbw_gb_per_sec:6.1f} GB/s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Train representative LLMs on HPN vs DCN+ (paper Figures 15-16).
+
+Places a 448-GPU (56-host) job on both fabrics -- one HPN segment vs
+four DCN+ segments -- and prints the iteration breakdown and the
+throughput gain, the paper's end-to-end comparison.
+
+Run:  python examples/train_llm.py
+"""
+
+from repro import Cluster, DcnPlusSpec, HpnSpec
+from repro.training import GPT3_175B, LLAMA_13B, LLAMA_7B, ParallelismPlan
+
+#: (model, plan, microbatches) mirroring the paper's 448-GPU runs
+MODELS = [
+    (LLAMA_7B, ParallelismPlan(tp=8, pp=1, dp=56), 18),
+    (LLAMA_13B, ParallelismPlan(tp=8, pp=1, dp=56), 15),
+    (GPT3_175B, ParallelismPlan(tp=8, pp=8, dp=7), 24),
+]
+
+
+def main() -> None:
+    hpn = Cluster.hpn(
+        HpnSpec(segments_per_pod=1, hosts_per_segment=56,
+                backup_hosts_per_segment=0, aggs_per_plane=60)
+    )
+    dcn = Cluster.dcnplus(
+        DcnPlusSpec(pods=1, segments_per_pod=4, hosts_per_segment=16)
+    )
+    h_hosts = hpn.place(56)
+    # production fragmentation: at most 14 free hosts per DCN+ segment
+    d_hosts = dcn.place(56, max_hosts_per_segment=14)
+    print(f"HPN spans {hpn.scheduler.segments_spanned(h_hosts)} segment(s); "
+          f"DCN+ spans {dcn.scheduler.segments_spanned(d_hosts)}")
+
+    header = f"{'model':<12} {'fabric':<6} {'iter(s)':>8} {'samples/s':>10} {'dp(s)':>7} {'exposed':>8}"
+    print(header)
+    print("-" * len(header))
+    for config, plan, m in MODELS:
+        results = {}
+        for name, cluster, hosts in (("HPN", hpn, h_hosts), ("DCN+", dcn, d_hosts)):
+            job = cluster.train(config, plan, hosts, microbatches=m)
+            it = job.iteration()
+            results[name] = it
+            print(
+                f"{config.name:<12} {name:<6} {it.total_seconds:8.3f} "
+                f"{it.samples_per_sec:10.1f} {it.dp_seconds:7.3f} "
+                f"{it.dp_exposed_seconds:8.3f}"
+            )
+        gain = results["HPN"].samples_per_sec / results["DCN+"].samples_per_sec - 1
+        print(f"{config.name:<12} HPN end-to-end gain: {gain:+.1%}\n")
+
+
+if __name__ == "__main__":
+    main()

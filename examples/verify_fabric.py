@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fabric verification and design-space exploration.
+
+Builds an HPN pod, runs the three verification layers (structural
+invariants, INT wiring check, forwarding probes), persists the topology
+to JSON, and prints the section-7 design-sweep curves.
+
+Run:  python examples/verify_fabric.py
+"""
+
+import tempfile
+
+from repro import Cluster, HpnSpec
+from repro.analysis import sweep_aggs_per_plane, sweep_oversubscription
+from repro.core import load_topology, save_topology
+from repro.routing import verify_forwarding
+from repro.telemetry import verify_wiring
+from repro.topos import validate
+from repro.viz import render_oversubscription, render_summary
+
+
+def main() -> None:
+    cluster = Cluster.hpn(
+        HpnSpec(segments_per_pod=2, hosts_per_segment=16,
+                backup_hosts_per_segment=1, aggs_per_plane=8)
+    )
+    topo = cluster.topo
+    print(render_summary(topo))
+    print(render_oversubscription(topo))
+
+    print("\n== Verification layers ==")
+    validate(topo)
+    print("1. structural invariants: OK (dual-ToR, dual-plane, rail-optimized)")
+    faults = verify_wiring(topo)
+    print(f"2. INT wiring check: {len(faults)} faults")
+    fwd = verify_forwarding(topo, cluster.router, max_pairs=48)
+    print(
+        f"3. forwarding probes: {fwd.flows_walked} flows over "
+        f"{fwd.pairs_checked} pairs, {len(fwd.violations)} violations"
+    )
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        save_topology(topo, tmp.name)
+        clone = load_topology(tmp.name)
+        print(f"\nJSON round-trip: {clone.summary() == topo.summary()} ({tmp.name})")
+
+    print("\n== Section 7 sweep: agg->core oversubscription ==")
+    for p in sweep_oversubscription():
+        print(
+            f"  {p.value:3.0f} uplinks: pod {p.gpus_per_pod:6d} GPUs, "
+            f"{p.agg_core_oversubscription:5.1f}:1, "
+            f"cross-pod {p.cross_pod_gbps_per_gpu:6.1f} Gbps/GPU"
+        )
+
+    print("\n== Plane-width sweep ==")
+    for p in sweep_aggs_per_plane():
+        print(
+            f"  {p.value:3.0f} aggs/plane: disjoint paths {p.path_diversity:3d}, "
+            f"fault domains {p.agg_fault_domains:3d}, pod {p.gpus_per_pod} GPUs"
+        )
+
+
+if __name__ == "__main__":
+    main()

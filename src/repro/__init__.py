@@ -1,0 +1,77 @@
+"""repro: a reproduction of Alibaba HPN (SIGCOMM 2024).
+
+A flow-level simulation library for LLM-training datacenter networks:
+topology generators (HPN's dual-plane/dual-ToR fabric, the DCN+ Clos
+baseline and others), deterministic ECMP routing with hash-polarization
+modeling, a max-min-fair fluid simulator, the non-stacked dual-ToR
+access layer, NCCL-style collectives with the paper's optimized path
+selection, and an LLM training-iteration model.
+
+Quick start::
+
+    from repro import Cluster, HpnSpec
+    from repro.collective import allreduce
+    from repro.core.units import GB
+
+    cluster = Cluster.hpn(HpnSpec(segments_per_pod=1, hosts_per_segment=16,
+                                  backup_hosts_per_segment=0, aggs_per_plane=8))
+    comm = cluster.communicator(cluster.place(16))
+    print(allreduce(comm, 1 * GB).busbw_gb_per_sec, "GB/s")
+"""
+
+from .cluster import Cluster
+from .core import (
+    Host,
+    Link,
+    Nic,
+    Port,
+    ReproError,
+    RoutingError,
+    Switch,
+    Topology,
+    TopologyError,
+)
+from .topos import (
+    DcnPlusSpec,
+    FatTreeSpec,
+    FrontendSpec,
+    HpnSpec,
+    RailOnlySpec,
+    SingleTorSpec,
+    build_dcnplus,
+    build_fattree,
+    build_frontend,
+    build_hpn,
+    build_railonly,
+    build_singletor,
+    validate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "DcnPlusSpec",
+    "FatTreeSpec",
+    "FrontendSpec",
+    "Host",
+    "HpnSpec",
+    "Link",
+    "Nic",
+    "Port",
+    "RailOnlySpec",
+    "ReproError",
+    "RoutingError",
+    "SingleTorSpec",
+    "Switch",
+    "Topology",
+    "TopologyError",
+    "build_dcnplus",
+    "build_fattree",
+    "build_frontend",
+    "build_hpn",
+    "build_railonly",
+    "build_singletor",
+    "validate",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Dual-ToR access layer: LACP, ARP, BGP host routes, bonding."""
+
+from .arp import ArpEntry, HostArpAnnouncer, TorArpTable
+from .bgp import (
+    DEFAULT_CONVERGENCE_DELAY,
+    DEFAULT_DETECT_DELAY,
+    FailoverTimeline,
+)
+from .bond import Bond
+from .lacp import (
+    HostBondNegotiation,
+    Lacpdu,
+    SwitchLacpActor,
+    configure_non_stacked_pair,
+    negotiate,
+    sys_id_from_mac,
+)
+from .nonstacked import NonStackedDualTor
+from .stacked import StackedPair, StackedTor, TorHealth, make_pair
+
+__all__ = [
+    "ArpEntry",
+    "Bond",
+    "DEFAULT_CONVERGENCE_DELAY",
+    "DEFAULT_DETECT_DELAY",
+    "FailoverTimeline",
+    "HostArpAnnouncer",
+    "HostBondNegotiation",
+    "Lacpdu",
+    "NonStackedDualTor",
+    "StackedPair",
+    "StackedTor",
+    "SwitchLacpActor",
+    "TorArpTable",
+    "TorHealth",
+    "configure_non_stacked_pair",
+    "make_pair",
+    "negotiate",
+    "sys_id_from_mac",
+]

@@ -1,0 +1,78 @@
+"""ARP handling on non-stacked dual-ToR switches (paper 4.2).
+
+Three mechanisms cooperate so layer-2 state never black-holes traffic:
+
+* the **host duplicates every ARP announcement to both NIC ports** so
+  both ToRs of the set learn the binding without syncing each other;
+* the ToR converts each learned ARP entry into a **/32 BGP host route**
+  (see :mod:`repro.access.bgp`);
+* the ToR runs an **ARP proxy**: it answers any ARP request with its own
+  MAC and layer-2 broadcast is disabled, so even intra-segment traffic
+  terminates at the ToR and follows layer-3 routes -- avoiding the
+  5-minute MAC-table aging black hole during access-link failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+
+@dataclass
+class ArpEntry:
+    ip: str
+    mac: str
+    port: int
+
+
+@dataclass
+class TorArpTable:
+    """ARP state on one ToR with proxy behaviour."""
+
+    name: str
+    switch_mac: str
+    proxy_enabled: bool = True
+    l2_broadcast_enabled: bool = False
+    entries: Dict[str, ArpEntry] = field(default_factory=dict)
+
+    def learn(self, ip: str, mac: str, port: int) -> ArpEntry:
+        entry = ArpEntry(ip, mac, port)
+        self.entries[ip] = entry
+        return entry
+
+    def withdraw_port(self, port: int) -> Set[str]:
+        """Access link died: drop every entry learned on that port."""
+        gone = {ip for ip, e in self.entries.items() if e.port == port}
+        for ip in gone:
+            del self.entries[ip]
+        return gone
+
+    def resolve(self, requested_ip: str) -> Optional[str]:
+        """MAC returned to a host ARPing for ``requested_ip``.
+
+        With the proxy on, the switch's own MAC is returned for *any*
+        target, forcing layer-3 forwarding at the ToR.
+        """
+        if self.proxy_enabled:
+            return self.switch_mac
+        entry = self.entries.get(requested_ip)
+        if entry is not None:
+            return entry.mac
+        if self.l2_broadcast_enabled:
+            return None  # would flood; disabled in HPN
+        return None
+
+
+@dataclass
+class HostArpAnnouncer:
+    """Host side: duplicate ARP announcements to both NIC ports."""
+
+    ip: str
+    mac: str
+
+    def announce(self, tors: Tuple[TorArpTable, ...], ports: Tuple[int, ...]) -> None:
+        """Send a gratuitous ARP out of every port (ARP Broadcast module)."""
+        if len(tors) != len(ports):
+            raise ValueError("one physical port per ToR required")
+        for tor, port in zip(tors, ports):
+            tor.learn(self.ip, self.mac, port)

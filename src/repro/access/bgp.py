@@ -1,0 +1,112 @@
+"""BGP host-route model for dual-ToR failover (paper 4.2).
+
+Every ARP entry a ToR learns is converted to a /32 host route and
+advertised into BGP; the rest of the fabric prefers the longest prefix,
+so while both access legs are alive both ToRs attract traffic (ECMP in
+DCN+, plane-pinned in HPN). When an access link fails:
+
+1. the ToR detects the loss (LFS/BFD, ``detect_delay``);
+2. it withdraws the /32, and the withdrawal propagates
+   (``convergence_delay``);
+3. only the surviving ToR advertises the /32 -- every sender converges
+   onto it.
+
+Until step 3 completes, traffic hashed towards the dead leg is
+black-holed; that window is what :class:`FailoverTimeline` exposes and
+what the fault-injection benchmarks charge against training throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.entities import Nic
+from ..core.topology import Topology
+
+#: defaults calibrated to production-style timers
+DEFAULT_DETECT_DELAY = 0.05     # link-fault signaling / BFD
+DEFAULT_CONVERGENCE_DELAY = 0.5  # /32 withdrawal propagation
+
+
+@dataclass
+class RouteState:
+    """Advertisement state of one (tor, /32) pair."""
+
+    advertised: bool = True
+    #: when the current transition completes (None = stable)
+    transition_at: Optional[float] = None
+
+
+@dataclass
+class FailoverTimeline:
+    """Tracks /32 advertisements per access leg over simulated time."""
+
+    topo: Topology
+    detect_delay: float = DEFAULT_DETECT_DELAY
+    convergence_delay: float = DEFAULT_CONVERGENCE_DELAY
+    #: (link_id) -> RouteState for the /32 riding that access link
+    _state: Dict[int, RouteState] = field(default_factory=dict)
+    log: List[Tuple[float, str]] = field(default_factory=list)
+
+    def _ensure(self, link_id: int) -> RouteState:
+        return self._state.setdefault(link_id, RouteState())
+
+    @property
+    def blackhole_window(self) -> float:
+        """Seconds a failed leg keeps attracting (and dropping) traffic."""
+        return self.detect_delay + self.convergence_delay
+
+    # ------------------------------------------------------------------
+    def fail_access_link(self, link_id: int, now: float) -> float:
+        """Access link died at ``now``; returns convergence completion time."""
+        state = self._ensure(link_id)
+        done = now + self.blackhole_window
+        state.advertised = False
+        state.transition_at = done
+        self.log.append((now, f"link {link_id} down, /32 withdrawal by {done:.3f}"))
+        return done
+
+    def recover_access_link(self, link_id: int, now: float) -> float:
+        """Link repaired; /32 re-advertised after convergence."""
+        state = self._ensure(link_id)
+        done = now + self.convergence_delay
+        state.advertised = True
+        state.transition_at = done
+        self.log.append((now, f"link {link_id} up, /32 restored by {done:.3f}"))
+        return done
+
+    # ------------------------------------------------------------------
+    def converged(self, link_id: int, now: float) -> bool:
+        """Whether the fabric's view of this leg is stable at ``now``."""
+        state = self._state.get(link_id)
+        if state is None or state.transition_at is None:
+            return True
+        return now >= state.transition_at
+
+    def leg_attracts_traffic(self, link_id: int, now: float) -> bool:
+        """Whether senders still route towards this leg at ``now``.
+
+        A freshly dead leg attracts (and drops) traffic until the
+        withdrawal converges -- the black-hole window.
+        """
+        state = self._state.get(link_id)
+        if state is None:
+            return True
+        if state.advertised:
+            return True
+        return now < (state.transition_at or 0.0)
+
+    def advertising_tors(self, nic: Nic, now: float) -> List[str]:
+        """ToRs currently advertising this NIC's /32 (converged view)."""
+        out = []
+        for pref in nic.ports:
+            port = self.topo.port(pref)
+            if port.link_id is None:
+                continue
+            link = self.topo.links[port.link_id]
+            state = self._state.get(link.link_id)
+            advertised = link.up if state is None else state.advertised
+            if advertised:
+                out.append(link.other(nic.host).node)
+        return out

@@ -1,0 +1,87 @@
+"""Host-side bonding (Linux bond mode 4, dynamic link aggregation).
+
+The bond load-balances flows over its two member ports with a
+layer-3+4 transmit hash and reroutes to the surviving member when a
+link dies. Because both ports share one IP/MAC/QP context, rerouting is
+transparent to RDMA -- the property dual-ToR leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.entities import Nic
+from ..core.errors import AccessError
+from ..core.topology import Topology
+from ..routing.hashing import FiveTuple, hash_five_tuple
+
+#: default miimon-style detection latency for a member-link failure
+DEFAULT_MII_DELAY = 0.1
+
+
+@dataclass
+class Bond:
+    """An 802.3ad bond over one NIC's two ports."""
+
+    topo: Topology
+    nic: Nic
+    mii_delay: float = DEFAULT_MII_DELAY
+    #: failure times per member port (None = healthy), set by injector
+    member_down_since: List[Optional[float]] = field(default_factory=lambda: [None, None])
+
+    def _member_link_up(self, idx: int) -> bool:
+        pref = self.nic.ports[idx]
+        port = self.topo.port(pref)
+        if port.link_id is None:
+            return False
+        return self.topo.links[port.link_id].up
+
+    def member_usable(self, idx: int, now: float) -> bool:
+        """Whether the bond *believes* member ``idx`` is usable at ``now``.
+
+        A dead member keeps receiving traffic for ``mii_delay`` seconds
+        until detection kicks in.
+        """
+        if self._member_link_up(idx):
+            return True
+        since = self.member_down_since[idx]
+        if since is None:
+            # link is down but the bond was never told: treat as fresh
+            return False
+        return now < since + self.mii_delay
+
+    def notice_failure(self, idx: int, now: float) -> None:
+        self.member_down_since[idx] = now
+
+    def notice_recovery(self, idx: int) -> None:
+        self.member_down_since[idx] = None
+
+    # ------------------------------------------------------------------
+    def select_port(self, ft: FiveTuple, now: float = 0.0) -> int:
+        """Transmit member for a flow: layer-3+4 hash with failover."""
+        wired = [i for i in range(len(self.nic.ports)) if self._has_wire(i)]
+        if not wired:
+            raise AccessError(f"{self.nic.name}: no wired ports")
+        preferred = wired[hash_five_tuple(ft, seed=0x5EED) % len(wired)]
+        if self.member_usable(preferred, now) and self._member_link_up(preferred):
+            return preferred
+        alive = [i for i in wired if self._member_link_up(i)]
+        if not alive:
+            raise AccessError(f"{self.nic.name}: all bond members down")
+        return alive[0]
+
+    def _has_wire(self, idx: int) -> bool:
+        return self.topo.port(self.nic.ports[idx]).link_id is not None
+
+    @property
+    def capacity_gbps(self) -> float:
+        """Current usable transmit capacity of the bond."""
+        total = 0.0
+        for idx, pref in enumerate(self.nic.ports):
+            port = self.topo.port(pref)
+            if port.link_id is None:
+                continue
+            if self.topo.links[port.link_id].up:
+                total += port.gbps
+        return total

@@ -1,0 +1,124 @@
+"""LACP actor model and the non-stacked bundling trick (paper 4.2).
+
+A host bonds its NIC's two ports with IEEE 802.3ad LACP. The bond
+aggregates two links only when the partner information in the LACPDUs
+says they terminate on *one* device: same system ID, different port IDs.
+
+* **Stacked dual-ToR** negotiates a shared sysID over the inter-switch
+  stack link -- the dependency the paper removes.
+* **Non-stacked dual-ToR** pre-configures both switches with the
+  RFC 3768 virtual-router MAC ``00:00:5E:00:01:01`` (same sysID without
+  talking to each other) and has each switch add a distinct
+  ``portid_offset > 256`` so port IDs never collide -- neither with each
+  other (different offsets) nor with real ports (a single chip has fewer
+  than 256 ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.addressing import VIRTUAL_ROUTER_MAC
+from ..core.errors import AccessError
+
+#: ports per chip never exceed this, so offsets > 256 cannot collide
+MAX_PHYSICAL_PORTS = 256
+
+
+def sys_id_from_mac(mac: str) -> int:
+    """System ID derived from a MAC address (priority bits elided)."""
+    return int(mac.replace(":", ""), 16)
+
+
+@dataclass
+class Lacpdu:
+    """The actor fields of a LACP data unit that matter to bundling."""
+
+    sys_id: int
+    port_id: int
+    key: int = 1
+
+
+@dataclass
+class SwitchLacpActor:
+    """The LACP responder on one ToR switch.
+
+    ``configured_mac``/``portid_offset`` model the customized module the
+    paper built with its switch vendors; when unset the switch behaves
+    like stock firmware and uses its own chassis MAC with raw port IDs.
+    """
+
+    name: str
+    chassis_mac: str
+    configured_mac: Optional[str] = None
+    portid_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.portid_offset and self.portid_offset <= MAX_PHYSICAL_PORTS:
+            raise AccessError(
+                f"portid_offset must exceed {MAX_PHYSICAL_PORTS} to avoid "
+                f"colliding with physical port numbers, got {self.portid_offset}"
+            )
+
+    def respond(self, physical_port: int) -> Lacpdu:
+        """LACPDU sent to the host attached at ``physical_port``."""
+        if not 0 <= physical_port < MAX_PHYSICAL_PORTS:
+            raise AccessError(f"physical port {physical_port} out of range")
+        mac = self.configured_mac or self.chassis_mac
+        return Lacpdu(
+            sys_id=sys_id_from_mac(mac),
+            port_id=physical_port + self.portid_offset,
+        )
+
+
+def configure_non_stacked_pair(
+    tor_a: SwitchLacpActor,
+    tor_b: SwitchLacpActor,
+    offset_a: int = 300,
+    offset_b: int = 600,
+) -> None:
+    """Apply the paper's customization to one dual-ToR set."""
+    if offset_a == offset_b:
+        raise AccessError("the two switches of a set need distinct offsets")
+    tor_a.configured_mac = VIRTUAL_ROUTER_MAC
+    tor_b.configured_mac = VIRTUAL_ROUTER_MAC
+    tor_a.portid_offset = offset_a
+    tor_b.portid_offset = offset_b
+
+
+@dataclass
+class HostBondNegotiation:
+    """Host-side LACP: decides whether two links aggregate into one bond."""
+
+    received: List[Lacpdu] = field(default_factory=list)
+
+    def offer(self, pdu: Lacpdu) -> None:
+        self.received.append(pdu)
+
+    @property
+    def aggregated(self) -> bool:
+        """True when all partners present one system with unique ports."""
+        if len(self.received) < 2:
+            return False
+        sys_ids = {p.sys_id for p in self.received}
+        port_ids = [p.port_id for p in self.received]
+        return len(sys_ids) == 1 and len(set(port_ids)) == len(port_ids)
+
+    def failure_reason(self) -> Optional[str]:
+        if self.aggregated:
+            return None
+        if len(self.received) < 2:
+            return "fewer than two LACPDUs received"
+        if len({p.sys_id for p in self.received}) != 1:
+            return "partners present different system IDs"
+        return "duplicate port IDs"
+
+
+def negotiate(host_port_on_a: int, host_port_on_b: int,
+              tor_a: SwitchLacpActor, tor_b: SwitchLacpActor) -> HostBondNegotiation:
+    """Run one LACP negotiation between a host and a ToR pair."""
+    nego = HostBondNegotiation()
+    nego.offer(tor_a.respond(host_port_on_a))
+    nego.offer(tor_b.respond(host_port_on_b))
+    return nego

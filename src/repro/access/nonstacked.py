@@ -1,0 +1,136 @@
+"""Non-stacked dual-ToR controller (paper 4.2).
+
+Ties the pieces together for one dual-ToR set:
+
+* LACP customization (shared virtual-router MAC + distinct port-ID
+  offsets) so hosts bond two *independent* switches;
+* host ARP announcements duplicated to both ToRs, converted to /32 BGP
+  host routes;
+* the failure drill: an access-link loss withdraws the /32 from the
+  affected ToR and the fabric converges onto the survivor, with no
+  inter-switch synchronization anywhere.
+
+Unlike :class:`~repro.access.stacked.StackedPair`, there is no shared
+fate: one switch's death never propagates to its sibling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.entities import Nic
+from ..core.errors import AccessError
+from ..core.topology import Topology
+from .arp import HostArpAnnouncer, TorArpTable
+from .bgp import FailoverTimeline
+from .lacp import (
+    HostBondNegotiation,
+    SwitchLacpActor,
+    configure_non_stacked_pair,
+    negotiate,
+)
+
+
+@dataclass
+class NonStackedDualTor:
+    """One non-stacked dual-ToR set serving one rail of one segment."""
+
+    topo: Topology
+    tor_a: str
+    tor_b: str
+    timeline: FailoverTimeline
+    lacp_a: SwitchLacpActor = field(init=False)
+    lacp_b: SwitchLacpActor = field(init=False)
+    arp_a: TorArpTable = field(init=False)
+    arp_b: TorArpTable = field(init=False)
+    #: nic name -> (port index on tor_a, port index on tor_b)
+    attachments: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.tor_a == self.tor_b:
+            raise AccessError("a dual-ToR set needs two distinct switches")
+        self.lacp_a = SwitchLacpActor(self.tor_a, chassis_mac="02:aa:00:00:00:01")
+        self.lacp_b = SwitchLacpActor(self.tor_b, chassis_mac="02:bb:00:00:00:02")
+        configure_non_stacked_pair(self.lacp_a, self.lacp_b)
+        self.arp_a = TorArpTable(self.tor_a, switch_mac="02:aa:00:00:00:01")
+        self.arp_b = TorArpTable(self.tor_b, switch_mac="02:bb:00:00:00:02")
+
+    # ------------------------------------------------------------------
+    def attach(self, nic: Nic) -> HostBondNegotiation:
+        """Bring one NIC up under the set: LACP + ARP + host routes."""
+        legs = self._legs(nic)
+        if set(legs) != {self.tor_a, self.tor_b}:
+            raise AccessError(
+                f"{nic.name} is not wired to this dual-ToR set "
+                f"({legs} vs {(self.tor_a, self.tor_b)})"
+            )
+        port_on_a = self._physical_port(nic, self.tor_a)
+        port_on_b = self._physical_port(nic, self.tor_b)
+        nego = negotiate(port_on_a, port_on_b, self.lacp_a, self.lacp_b)
+        if not nego.aggregated:
+            raise AccessError(f"LACP bundling failed: {nego.failure_reason()}")
+        announcer = HostArpAnnouncer(nic.ip, nic.mac)
+        announcer.announce((self.arp_a, self.arp_b), (port_on_a, port_on_b))
+        self.attachments[nic.name] = (port_on_a, port_on_b)
+        return nego
+
+    def _legs(self, nic: Nic) -> List[str]:
+        out = []
+        for pref in nic.ports:
+            port = self.topo.port(pref)
+            if port.link_id is None:
+                continue
+            out.append(self.topo.links[port.link_id].other(nic.host).node)
+        return out
+
+    def _physical_port(self, nic: Nic, tor: str) -> int:
+        for pref in nic.ports:
+            port = self.topo.port(pref)
+            if port.link_id is None:
+                continue
+            link = self.topo.links[port.link_id]
+            if link.other(nic.host).node == tor:
+                far = link.a if link.a.node == tor else link.b
+                return far.index % 128
+        raise AccessError(f"{nic.name} has no leg on {tor}")
+
+    # ------------------------------------------------------------------
+    def host_routes(self, tor: str) -> List[str]:
+        """/32 prefixes the given ToR currently advertises."""
+        table = self.arp_a if tor == self.tor_a else self.arp_b
+        return sorted(table.entries)
+
+    def fail_leg(self, nic: Nic, tor: str, now: float) -> float:
+        """Access-link failure: withdraw ARP + /32; returns converge time."""
+        table = self.arp_a if tor == self.tor_a else self.arp_b
+        idx = 0 if tor == self.tor_a else 1
+        phys = self.attachments[nic.name][idx]
+        table.withdraw_port(phys)
+        link = self._leg_link(nic, tor)
+        self.topo.set_link_state(link, up=False)
+        return self.timeline.fail_access_link(link, now)
+
+    def recover_leg(self, nic: Nic, tor: str, now: float) -> float:
+        table = self.arp_a if tor == self.tor_a else self.arp_b
+        idx = 0 if tor == self.tor_a else 1
+        phys = self.attachments[nic.name][idx]
+        table.learn(nic.ip, nic.mac, phys)
+        link = self._leg_link(nic, tor)
+        self.topo.set_link_state(link, up=True)
+        return self.timeline.recover_access_link(link, now)
+
+    def _leg_link(self, nic: Nic, tor: str) -> int:
+        for pref in nic.ports:
+            port = self.topo.port(pref)
+            if port.link_id is None:
+                continue
+            link = self.topo.links[port.link_id]
+            if link.other(nic.host).node == tor:
+                return link.link_id
+        raise AccessError(f"{nic.name} has no leg on {tor}")
+
+    def surviving_tor(self, nic: Nic, now: float) -> Optional[str]:
+        """Which ToR the fabric has converged on for this /32, if any."""
+        tors = self.timeline.advertising_tors(nic, now)
+        return tors[0] if tors else None

@@ -1,0 +1,140 @@
+"""Stacked dual-ToR state machine and its failure modes (paper 4.1).
+
+A stacked pair couples two switches through a direct stack link (data-
+plane state sync: ARP/MAC) and an out-of-band channel (controller
+election). The paper reports that over 40% of critical datacenter
+failures traced back to two mechanisms this model reproduces:
+
+* **stack failure** -- the primary's data plane dies silently (e.g. MMU
+  overflow) while its control plane stays healthy. Sync over the stack
+  link stops; the secondary cannot distinguish "peer data plane dead"
+  from "stale forwarding about to diverge" and self-isolates to avoid
+  inconsistent forwarding. Both ToRs are now effectively gone: the
+  whole rack drops.
+* **upgrade incompatibility** -- a rolling upgrade leaves the two peers
+  on RPC-incompatible versions; state sync fails and takes the pair
+  down. In-service upgrades (ISSU) only help when the version diff is
+  small, which the paper measured true for just 30% of their upgrades.
+
+The model is deterministic: drive it with events and read which hosts
+still have connectivity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class TorHealth(enum.Enum):
+    HEALTHY = "healthy"
+    DATA_PLANE_DOWN = "data-plane-down"     # silent data-plane loss
+    SELF_ISOLATED = "self-isolated"         # secondary protective shutdown
+    OFFLINE = "offline"
+
+
+@dataclass
+class StackedTor:
+    name: str
+    role: str                       # "primary" | "secondary"
+    version: str = "v1"
+    health: TorHealth = TorHealth.HEALTHY
+    #: ISSU works only when the version diff is small
+    issu_compatible_with: Tuple[str, ...] = ()
+
+    @property
+    def forwarding(self) -> bool:
+        return self.health is TorHealth.HEALTHY
+
+
+@dataclass
+class StackedPair:
+    """One stacked dual-ToR set."""
+
+    primary: StackedTor
+    secondary: StackedTor
+    stack_link_up: bool = True
+    oob_up: bool = True
+    #: log of state transitions for post-mortems
+    events: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def _log(self, msg: str) -> None:
+        self.events.append(msg)
+
+    def sync_healthy(self) -> bool:
+        """Whether ARP/MAC sync over the stack link is functioning."""
+        return (
+            self.stack_link_up
+            and self.primary.health is TorHealth.HEALTHY
+            and self.secondary.health is TorHealth.HEALTHY
+            and self._versions_compatible()
+        )
+
+    def _versions_compatible(self) -> bool:
+        if self.primary.version == self.secondary.version:
+            return True
+        return (
+            self.secondary.version in self.primary.issu_compatible_with
+            or self.primary.version in self.secondary.issu_compatible_with
+        )
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def silent_data_plane_failure(self) -> None:
+        """Primary's data plane dies; control planes keep negotiating."""
+        self.primary.health = TorHealth.DATA_PLANE_DOWN
+        self._log(f"{self.primary.name}: data plane down (control plane unaware)")
+        self._resolve_sync_loss()
+
+    def upgrade(self, tor: str, new_version: str) -> None:
+        """Upgrade one member; incompatibility can take the pair down."""
+        target = self.primary if tor == self.primary.name else self.secondary
+        target.version = new_version
+        self._log(f"{target.name}: upgraded to {new_version}")
+        if not self._versions_compatible():
+            self._log("RPC field mismatch during state sync")
+            self._resolve_sync_loss()
+
+    def stack_link_failure(self) -> None:
+        self.stack_link_up = False
+        self._log("stack link down")
+        self._resolve_sync_loss()
+
+    def _resolve_sync_loss(self) -> None:
+        """The paper's pathology: sync loss with healthy OOB channel.
+
+        The secondary sees the primary alive over OOB but cannot sync
+        forwarding state, so it shuts itself down to avoid inconsistent
+        forwarding -- even if the primary's data plane is dead.
+        """
+        if self.sync_healthy():
+            return
+        if self.oob_up and self.secondary.health is TorHealth.HEALTHY:
+            self.secondary.health = TorHealth.SELF_ISOLATED
+            self._log(
+                f"{self.secondary.name}: self-isolated (primary claims healthy "
+                "over OOB, forwarding state cannot be synced)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def rack_has_connectivity(self) -> bool:
+        """Whether hosts under this pair can still forward traffic."""
+        return self.primary.forwarding or self.secondary.forwarding
+
+    def outcome(self) -> str:
+        if self.rack_has_connectivity:
+            return "degraded" if not self.sync_healthy() else "healthy"
+        return "rack-offline"
+
+
+def make_pair(name_a: str = "tor1", name_b: str = "tor2",
+              version: str = "v1") -> StackedPair:
+    """A healthy stacked pair."""
+    return StackedPair(
+        primary=StackedTor(name_a, "primary", version),
+        secondary=StackedTor(name_b, "secondary", version),
+    )

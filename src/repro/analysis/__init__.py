@@ -1,0 +1,38 @@
+"""Analysis: polarization, load imbalance, scale accounting."""
+
+from .imbalance import (
+    PortBalanceReport,
+    mean_port_ratio,
+    nic_port_balance,
+    queue_reduction,
+)
+from .polarization import (
+    effective_choice_entropy,
+    link_flow_histogram,
+    path_concentration,
+    stage_choice_correlation,
+    stage_choices,
+)
+from .scale import ScaleRow, Table4Row, hpn_pod_gpus, table2, table4
+from .sweep import SweepPoint, knee_point, sweep_aggs_per_plane, sweep_oversubscription
+
+__all__ = [
+    "SweepPoint",
+    "knee_point",
+    "sweep_aggs_per_plane",
+    "sweep_oversubscription",
+    "PortBalanceReport",
+    "ScaleRow",
+    "Table4Row",
+    "effective_choice_entropy",
+    "hpn_pod_gpus",
+    "link_flow_histogram",
+    "mean_port_ratio",
+    "nic_port_balance",
+    "path_concentration",
+    "queue_reduction",
+    "stage_choice_correlation",
+    "stage_choices",
+    "table2",
+    "table4",
+]

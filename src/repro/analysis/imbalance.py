@@ -1,0 +1,63 @@
+"""Load-imbalance summaries over simulated traffic.
+
+Thin analysis layer over :mod:`repro.fabric.telemetry`: the
+architecture-level comparisons (Figure 13's 3x port skew, the 91.8%
+queue reduction) are computed here from flow populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..core.topology import Topology
+from ..fabric.flow import Flow
+from ..fabric.queues import QueueTracker
+from ..fabric.telemetry import imbalance_ratio, jain_fairness, tor_ports_towards_nic
+
+
+@dataclass
+class PortBalanceReport:
+    """Figure 13's quantity for one NIC."""
+
+    host: str
+    rail: int
+    per_tor_gbps: Dict[str, float]
+
+    @property
+    def ratio(self) -> float:
+        return imbalance_ratio(self.per_tor_gbps.values())
+
+    @property
+    def fairness(self) -> float:
+        return jain_fairness(self.per_tor_gbps.values())
+
+
+def nic_port_balance(
+    topo: Topology, flows: Iterable[Flow], host: str, rail: int
+) -> PortBalanceReport:
+    loads = tor_ports_towards_nic(topo, flows, host, rail)
+    return PortBalanceReport(host=host, rail=rail, per_tor_gbps=loads)
+
+
+def mean_port_ratio(
+    topo: Topology, flows: List[Flow], hosts: List[str], rail: int = 0
+) -> float:
+    """Average dual-ToR downlink imbalance over many NICs."""
+    ratios = []
+    for host in hosts:
+        report = nic_port_balance(topo, flows, host, rail)
+        values = [v for v in report.per_tor_gbps.values() if v > 0]
+        if len(values) >= 2:
+            ratios.append(max(values) / min(values))
+    return sum(ratios) / len(ratios) if ratios else 1.0
+
+
+def queue_reduction(
+    baseline: QueueTracker, improved: QueueTracker
+) -> float:
+    """Fractional reduction of the peak standing queue (paper: 91.8%)."""
+    base = baseline.max_queue()
+    if base <= 0:
+        return 0.0
+    return 1.0 - improved.max_queue() / base

@@ -1,0 +1,76 @@
+"""Hash-polarization measurement (paper 2.2, 6.1).
+
+Polarization is the correlation between a flow's ECMP choices at
+successive tiers: when every chip hashes the same unchanged 5-tuple
+with the same function, the aggregation layer sees a *filtered*
+population (all flows arriving at agg ``a`` made the same tier-1
+choice) and re-hashing them yields degenerate spreading.
+
+``stage_choice_correlation`` quantifies it directly on a population of
+synthetic flows; ``path_concentration`` measures the downstream effect
+on a built topology: how unevenly a flow population lands on the
+candidate links of a switch.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..fabric.flow import Flow
+from ..routing.hashing import FiveTuple, ecmp_index
+
+
+def stage_choices(
+    flows: Sequence[FiveTuple], seeds: Sequence[int], members: int
+) -> List[List[int]]:
+    """ECMP member index per flow at each hashing stage."""
+    return [[ecmp_index(ft, seed, members) for ft in flows] for seed in seeds]
+
+
+def stage_choice_correlation(
+    flows: Sequence[FiveTuple], seed_a: int, seed_b: int, members: int
+) -> float:
+    """Fraction of flows repeating their stage-A member at stage B.
+
+    1.0 = full polarization; ~1/members = independent hashing.
+    """
+    if not flows:
+        raise ValueError("need at least one flow")
+    same = sum(
+        1
+        for ft in flows
+        if ecmp_index(ft, seed_a, members) == ecmp_index(ft, seed_b, members)
+    )
+    return same / len(flows)
+
+
+def effective_choice_entropy(indices: Sequence[int], members: int) -> float:
+    """Normalized entropy of member usage in [0, 1]; 1 = perfectly even."""
+    import math
+
+    if members <= 1:
+        return 1.0
+    counts = Counter(indices)
+    n = len(indices)
+    h = -sum((c / n) * math.log(c / n) for c in counts.values())
+    return h / math.log(members)
+
+
+def link_flow_histogram(flows: Iterable[Flow], node: str) -> Dict[int, int]:
+    """How many flows egress each directed link out of ``node``."""
+    hist: Dict[int, int] = defaultdict(int)
+    for f in flows:
+        for i, n in enumerate(f.path.nodes[:-1]):
+            if n == node:
+                hist[f.path.dirlinks[i]] += 1
+    return dict(hist)
+
+
+def path_concentration(flows: Iterable[Flow], node: str) -> float:
+    """Max share of ``node``'s egress flows landing on one link."""
+    hist = link_flow_histogram(flows, node)
+    total = sum(hist.values())
+    if not total:
+        return 0.0
+    return max(hist.values()) / total

@@ -1,0 +1,161 @@
+"""Experiment-report generator.
+
+Runs a scaled-down version of the paper's headline comparisons and
+renders a self-contained markdown report: architecture inventories,
+Table 1/2/4, AllReduce/Multi-AllReduce sweeps, the end-to-end training
+comparison and the fault drill. Intended for downstream users who
+change a spec and want the full consequence picture in one command
+(``examples/full_report.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..cluster import Cluster
+from ..collective import allreduce, multi_allreduce
+from ..core.units import GB, MB
+from ..reliability import FaultInjector, link_failure_scenario
+from ..routing import table1
+from ..topos import DcnPlusSpec, HpnSpec, table1_cards
+from ..training import GPT3_175B, LLAMA_13B, ParallelismPlan, Scheduler
+from .scale import table2, table4
+
+
+@dataclass
+class ReportConfig:
+    """Scale knobs for the report run (defaults: ~1 minute)."""
+
+    hosts: int = 16
+    hpn_spec: HpnSpec = field(
+        default_factory=lambda: HpnSpec(
+            segments_per_pod=1, hosts_per_segment=16,
+            backup_hosts_per_segment=0, aggs_per_plane=16,
+        )
+    )
+    dcn_spec: DcnPlusSpec = field(
+        default_factory=lambda: DcnPlusSpec(
+            pods=1, segments_per_pod=4, hosts_per_segment=4
+        )
+    )
+    allreduce_sizes: List[float] = field(
+        default_factory=lambda: [16 * MB, 256 * MB, 1 * GB]
+    )
+    microbatches: int = 12
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(row) + " |")
+    return out
+
+
+def generate_report(config: Optional[ReportConfig] = None) -> str:
+    """Run the comparisons and return a markdown document."""
+    cfg = config or ReportConfig()
+    hpn = Cluster.hpn(cfg.hpn_spec)
+    dcn = Cluster.dcnplus(cfg.dcn_spec)
+    h_hosts = hpn.place(cfg.hosts)
+    d_hosts = Scheduler(dcn.topo).place(cfg.hosts)
+
+    lines: List[str] = ["# HPN reproduction report", ""]
+
+    # --- inventories -----------------------------------------------------
+    lines += ["## Fabrics", ""]
+    rows = []
+    for name, cluster in (("HPN", hpn), ("DCN+", dcn)):
+        s = cluster.topo.summary()
+        rows.append([
+            name, str(s["gpus"]),
+            str(s["switches"].get("tor", 0)),
+            str(s["switches"].get("agg", 0)),
+            str(s["links"]),
+        ])
+    lines += _md_table(["fabric", "GPUs", "ToRs", "Aggs", "links"], rows) + [""]
+
+    # --- tables ----------------------------------------------------------
+    lines += ["## Table 1: path-selection complexity", ""]
+    rows = [
+        [r.name, str(r.supported_gpus), str(r.tiers), f"O({r.complexity})"]
+        for r in table1(table1_cards())
+    ]
+    lines += _md_table(["architecture", "GPUs", "tiers", "search space"], rows) + [""]
+
+    lines += ["## Table 2: scale mechanisms", ""]
+    rows = [
+        [r.mechanism, str(r.tier1_gpus), str(r.tier2_gpus)] for r in table2()
+    ]
+    lines += _md_table(["mechanism", "tier-1 GPUs", "tier-2 GPUs"], rows) + [""]
+
+    lines += ["## Table 4: tier-2 design", ""]
+    rows = [
+        [r.design, str(r.tier2_planes), str(r.gpus_per_pod),
+         r.communication_limitation]
+        for r in table4()
+    ]
+    lines += _md_table(["design", "planes", "GPUs/pod", "limitation"], rows) + [""]
+
+    # --- collectives -----------------------------------------------------
+    lines += ["## Collectives (HPN vs DCN+)", ""]
+    h_comm = hpn.communicator(h_hosts)
+    d_comm = dcn.communicator(d_hosts)
+    rows = []
+    for size in cfg.allreduce_sizes:
+        h = allreduce(h_comm, size)
+        d = allreduce(d_comm, size)
+        gain = h.busbw_gb_per_sec / d.busbw_gb_per_sec - 1
+        rows.append([
+            f"AllReduce {size / MB:.0f} MB",
+            f"{h.busbw_gb_per_sec:.1f}",
+            f"{d.busbw_gb_per_sec:.1f}",
+            f"{gain:+.1%}",
+        ])
+    h_mar = multi_allreduce(h_comm, 256 * MB)
+    d_mar = multi_allreduce(d_comm, 256 * MB)
+    rows.append([
+        "Multi-AllReduce 256 MB",
+        f"{h_mar.busbw_gb_per_sec:.1f}",
+        f"{d_mar.busbw_gb_per_sec:.1f}",
+        f"{h_mar.busbw_gb_per_sec / d_mar.busbw_gb_per_sec - 1:+.1%}",
+    ])
+    lines += _md_table(
+        ["operation", "HPN GB/s", "DCN+ GB/s", "HPN gain"], rows
+    ) + [""]
+
+    # --- end-to-end training ----------------------------------------------
+    lines += ["## End-to-end training", ""]
+    plan = ParallelismPlan(tp=8, pp=4, dp=cfg.hosts * 8 // (8 * 4))
+    rows = []
+    sps = {}
+    for name, cluster, hosts in (("HPN", hpn, h_hosts), ("DCN+", dcn, d_hosts)):
+        job = cluster.train(GPT3_175B, plan, hosts, microbatches=cfg.microbatches)
+        it = job.iteration()
+        sps[name] = it.samples_per_sec
+        rows.append([
+            name, f"{it.total_seconds:.3f}", f"{it.samples_per_sec:.1f}",
+            f"{it.dp_seconds:.3f}", f"{it.dp_exposed_seconds:.3f}",
+        ])
+    rows.append(["HPN gain", "", f"{sps['HPN'] / sps['DCN+'] - 1:+.1%}", "", ""])
+    lines += _md_table(
+        ["fabric", "iter (s)", "samples/s", "dp sync (s)", "exposed (s)"], rows
+    ) + [""]
+
+    # --- fault drill -------------------------------------------------------
+    lines += ["## Fault drill (access-link failure)", ""]
+    job = hpn.train(
+        LLAMA_13B, ParallelismPlan(tp=8, pp=1, dp=cfg.hosts), h_hosts,
+        microbatches=cfg.microbatches,
+    )
+    result = FaultInjector(job).run(
+        link_failure_scenario(h_hosts[0], 0, fail_at=10.0, repair_at=60.0), 120.0
+    )
+    rows = [
+        [f"{p.time:.2f}", f"{p.samples_per_sec:.1f}", p.note]
+        for p in result.timeline
+    ]
+    lines += _md_table(["t (s)", "samples/s", "event"], rows)
+    lines += ["", f"crashed: {result.crashed}", ""]
+    return "\n".join(lines)

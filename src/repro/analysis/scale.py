@@ -1,0 +1,101 @@
+"""Scale accounting: Tables 2 and 4.
+
+Table 2 decomposes how each HPN mechanism multiplies the number of
+GPUs one tier can cover; Table 4 contrasts the deployed any-to-any
+tier-2 with the rail-only alternative. Both are closed-form functions
+of the architecture parameters, checked against built topologies in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..topos.spec import HpnSpec, RailOnlySpec
+
+
+@dataclass(frozen=True)
+class ScaleRow:
+    """One row of Table 2."""
+
+    mechanism: str
+    tier1_gpus: int
+    tier2_gpus: int
+    note: str = ""
+
+
+def table2(spec: HpnSpec = HpnSpec()) -> List[ScaleRow]:
+    """Reproduce Table 2's build-up at any parameterization.
+
+    The progression at paper scale: 64 -> 128 (x2 dual-ToR) -> 1K (x8
+    rail-optimized) for tier 1; 2K -> 4K (x2) -> 8K (x2 dual-plane) ->
+    15K (x1.875 via 15:1 oversubscription) for tier 2.
+    """
+    # a 51.2T chip with plain Clos: half ports down at 400G, one GPU each
+    ports_400g = int(spec.tor_chip_gbps / 400.0)
+    base_t1 = ports_400g // 2
+    # tier-2 baseline: agg chip fan-out over single-homed ToRs
+    base_t2 = base_t1 * (ports_400g // 2) // 2
+
+    rows = [ScaleRow("51.2Tbps Clos", base_t1, base_t2)]
+
+    t1 = base_t1 * 2
+    t2 = base_t2 * 2
+    rows.append(ScaleRow("Dual-ToR", t1, t2, "x2: two 200G ports per NIC"))
+
+    t1 *= spec.rails
+    rows.append(
+        ScaleRow("Rail-optimized", t1, t2, f"x{spec.rails}: one ToR set per rail")
+    )
+
+    t2 *= 2
+    rows.append(ScaleRow("Dual-plane", t1, t2, "x2: half the ToR-Agg links"))
+
+    oversub = spec.agg_core_oversubscription
+    if oversub != float("inf"):
+        factor = 2 * oversub / (oversub + 1)
+        t2 = int(t2 * factor)
+        rows.append(
+            ScaleRow(
+                f"Oversubscription of {oversub:.0f}:1",
+                t1,
+                t2,
+                f"x{factor:.3f}: ports freed from the core",
+            )
+        )
+    return rows
+
+
+def hpn_pod_gpus(spec: HpnSpec = HpnSpec()) -> int:
+    return spec.gpus_per_pod
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    design: str
+    tier2_planes: int
+    gpus_per_pod: int
+    communication_limitation: str
+
+
+def table4(
+    hpn: HpnSpec = HpnSpec(), railonly: RailOnlySpec = RailOnlySpec()
+) -> Tuple[Table4Row, Table4Row]:
+    """Any-to-any tier-2 vs rail-only tier-2 (paper Table 4)."""
+    any_to_any = Table4Row(
+        design="Any-to-any tier2",
+        tier2_planes=2,
+        gpus_per_pod=hpn.gpus_per_pod,
+        communication_limitation="None",
+    )
+    # rail-only: each of the 16 (rail, side) planes keeps the full agg
+    # fan-out to itself, so a pod covers 8x the segments
+    rail_pod = hpn.gpus_per_pod * railonly.rails
+    rail = Table4Row(
+        design="Rail-only tier2",
+        tier2_planes=railonly.planes,
+        gpus_per_pod=rail_pod,
+        communication_limitation="Rail-only",
+    )
+    return any_to_any, rail

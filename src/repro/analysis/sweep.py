@@ -1,0 +1,117 @@
+"""Design-space sweeps over architecture parameters.
+
+The paper fixes its design points (60 aggs/plane, 15:1 core
+oversubscription) from operational constraints; the sweep utilities let
+a user re-derive those choices: vary one knob, rebuild the fabric, and
+measure the consequences (pod size, cost, path diversity, cross-pod
+bandwidth per GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+from ..core.topology import Topology
+from ..hardware.cost import network_cost
+from ..topos.hpn import build_hpn
+from ..topos.spec import HpnSpec, TOR_UP_GBPS
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated design point."""
+
+    value: float
+    gpus_per_pod: int
+    tor_oversubscription: float
+    agg_core_oversubscription: float
+    path_diversity: int
+    relative_cost: float
+    cross_pod_gbps_per_gpu: float
+    #: independent aggregation switches per plane -- the fault domains a
+    #: single switch failure can take out of the disjoint-path pool
+    agg_fault_domains: int = 0
+
+
+def _evaluate(spec: HpnSpec, value: float, build: bool) -> SweepPoint:
+    topo: Optional[Topology] = build_hpn(spec) if build else None
+    cost = network_cost(topo) if topo is not None else float("nan")
+    core_up = spec.aggs_per_plane * spec.agg_core_uplinks * 2 * TOR_UP_GBPS
+    cross_bw = core_up / spec.gpus_per_pod if spec.agg_core_uplinks else 0.0
+    return SweepPoint(
+        value=value,
+        gpus_per_pod=spec.gpus_per_pod,
+        tor_oversubscription=spec.tor_oversubscription,
+        agg_core_oversubscription=spec.agg_core_oversubscription,
+        path_diversity=spec.tor_uplinks,
+        relative_cost=cost,
+        cross_pod_gbps_per_gpu=cross_bw,
+        agg_fault_domains=spec.aggs_per_plane,
+    )
+
+
+def sweep_oversubscription(
+    base: HpnSpec = HpnSpec(),
+    uplink_counts: Sequence[int] = (4, 8, 16, 30, 60),
+    build: bool = False,
+) -> List[SweepPoint]:
+    """Vary the agg->core uplink count (the §7 trade-off).
+
+    More uplinks = more cross-pod bandwidth but fewer ports left for
+    segments: each extra uplink costs one downlink, shrinking the pod.
+    """
+    points = []
+    for uplinks in uplink_counts:
+        # a 128-port agg chip: down + up = 128 at 400G
+        downlinks = 128 - uplinks
+        segments = max(1, downlinks // (base.rails * base.tor_agg_links))
+        spec = replace(
+            base,
+            agg_core_uplinks=uplinks,
+            segments_per_pod=segments,
+            cores_per_plane=0,
+        )
+        points.append(_evaluate(spec, float(uplinks), build))
+    return points
+
+
+def sweep_aggs_per_plane(
+    base: HpnSpec = HpnSpec(),
+    counts: Sequence[int] = (15, 30, 60),
+    build: bool = False,
+) -> List[SweepPoint]:
+    """Vary plane width: fault domains vs switch count.
+
+    The ToR's 60 x 400G uplink budget is fixed, so the link-disjoint
+    path pool stays 60 regardless; what narrows with fewer aggs is the
+    number of independent *fault domains* -- one agg failure removes
+    ``tor_agg_links`` paths at once instead of one (the paper's "59
+    surviving aggs keep balancing" property).
+    """
+    points = []
+    for count in counts:
+        links = max(1, 60 // count)
+        spec = replace(base, aggs_per_plane=count, tor_agg_links=links,
+                       agg_core_uplinks=0, cores_per_plane=0, pods=1)
+        points.append(_evaluate(spec, float(count), build))
+    return points
+
+
+def knee_point(points: List[SweepPoint],
+               metric: Callable[[SweepPoint], float]) -> SweepPoint:
+    """The point after which the metric's marginal gain halves --
+    a simple knee heuristic for picking a design value."""
+    if not points:
+        raise ValueError("empty sweep")
+    if len(points) < 3:
+        return points[-1]
+    best = points[0]
+    prev_gain = None
+    for a, b in zip(points, points[1:]):
+        gain = metric(b) - metric(a)
+        if prev_gain is not None and prev_gain > 0 and gain < prev_gain / 2:
+            return a
+        prev_gain = gain
+        best = b
+    return best

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build``      -- build an architecture, print its inventory, and
+                    optionally save it to JSON;
+* ``validate``   -- load (or build) a topology and run the invariants
+                    plus the INT wiring check;
+* ``complexity`` -- print Table 1 (path-selection search space);
+* ``train``      -- simulate one training iteration of a named model;
+* ``inject``     -- run the Figure-18 fault drill and print the
+                    throughput timeline.
+
+The CLI exists so the library is usable without writing Python; every
+command is a thin veneer over the public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .cluster import Cluster
+from .core.serialize import load_topology, save_topology
+from .routing import table1
+from .topos import (
+    DcnPlusSpec,
+    HpnSpec,
+    SingleTorSpec,
+    table1_cards,
+    validate as validate_topology,
+)
+from .viz import render_oversubscription, render_summary, render_tiers
+
+_MODELS = {"llama-7b": "LLAMA_7B", "llama-13b": "LLAMA_13B", "gpt3-175b": "GPT3_175B"}
+
+
+def _build_cluster(args: argparse.Namespace) -> Cluster:
+    if args.arch == "hpn":
+        spec = HpnSpec(
+            segments_per_pod=args.segments,
+            hosts_per_segment=args.hosts,
+            backup_hosts_per_segment=args.backup_hosts,
+            aggs_per_plane=args.aggs,
+        )
+        return Cluster.hpn(spec)
+    if args.arch == "dcnplus":
+        spec = DcnPlusSpec(
+            pods=1, segments_per_pod=args.segments, hosts_per_segment=args.hosts
+        )
+        return Cluster.dcnplus(spec)
+    if args.arch == "singletor":
+        return Cluster.singletor(
+            SingleTorSpec(segments=args.segments, hosts_per_segment=args.hosts)
+        )
+    raise SystemExit(f"unknown architecture {args.arch!r}")
+
+
+def _add_build_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--arch", default="hpn", choices=["hpn", "dcnplus", "singletor"])
+    p.add_argument("--segments", type=int, default=1)
+    p.add_argument("--hosts", type=int, default=16, help="hosts per segment")
+    p.add_argument("--backup-hosts", type=int, default=0)
+    p.add_argument("--aggs", type=int, default=8, help="aggs per plane (hpn)")
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    cluster = _build_cluster(args)
+    print(render_summary(cluster.topo))
+    print(render_tiers(cluster.topo))
+    print(render_oversubscription(cluster.topo))
+    if args.output:
+        save_topology(cluster.topo, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    if args.input:
+        topo = load_topology(args.input)
+    else:
+        topo = _build_cluster(args).topo
+    from .core.errors import TopologyError
+    from .routing import verify_forwarding
+    from .telemetry import verify_wiring
+
+    try:
+        validate_topology(topo)
+    except TopologyError as exc:
+        print(render_summary(topo))
+        print(f"INVARIANT VIOLATION: {exc}")
+        return 1
+
+    faults = verify_wiring(topo)
+    print(render_summary(topo))
+    if faults:
+        print(f"WIRING FAULTS ({len(faults)}):")
+        for fault in faults:
+            print(f"  {fault.detail}")
+        return 1
+    fwd = verify_forwarding(topo, max_pairs=args.probe_pairs)
+    if not fwd.ok:
+        print(f"FORWARDING VIOLATIONS ({len(fwd.violations)}):")
+        for v in fwd.violations[:10]:
+            print(f"  [{v.kind}] {v.src} -> {v.dst}: {v.detail}")
+        return 1
+    print(
+        "all invariants hold; wiring matches the blueprint; "
+        f"{fwd.flows_walked} probe flows delivered loop-free"
+    )
+    return 0
+
+
+def cmd_complexity(_args: argparse.Namespace) -> int:
+    for row in table1(table1_cards()):
+        print(
+            f"{row.name:<18} {row.supported_gpus:>6} GPUs  {row.tiers} tiers  "
+            f"LB at {row.lb_switch_roles:<22} O({row.complexity})"
+        )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from . import training
+
+    cluster = _build_cluster(args)
+    config = getattr(training, _MODELS[args.model])
+    hosts = cluster.place(args.job_hosts)
+    plan = training.ParallelismPlan(tp=8, pp=args.pp, dp=args.job_hosts * 8 // (8 * args.pp))
+    job = cluster.train(config, plan, hosts, microbatches=args.microbatches)
+    it = job.iteration()
+    print(f"model {config.name} on {args.job_hosts} hosts ({cluster.architecture})")
+    print(f"  iteration : {it.total_seconds:.3f} s")
+    print(f"  throughput: {it.samples_per_sec:.1f} samples/s")
+    print(f"  compute {it.compute_seconds:.3f}s | tp {it.tp_seconds*1e3:.1f}ms | "
+          f"pp {it.pp_seconds*1e3:.1f}ms | dp {it.dp_seconds:.3f}s "
+          f"(exposed {it.dp_exposed_seconds:.3f}s)")
+    return 0
+
+
+def cmd_inject(args: argparse.Namespace) -> int:
+    from . import training
+    from .reliability import FaultInjector, link_failure_scenario
+
+    cluster = _build_cluster(args)
+    config = getattr(training, _MODELS[args.model])
+    hosts = cluster.place(args.job_hosts)
+    plan = training.ParallelismPlan(tp=8, pp=1, dp=args.job_hosts)
+    job = cluster.train(config, plan, hosts, microbatches=args.microbatches)
+    events = link_failure_scenario(
+        hosts[0], rail=0, fail_at=args.fail_at, repair_at=args.repair_at
+    )
+    result = FaultInjector(job).run(events, duration=args.duration)
+    for point in result.timeline:
+        print(f"t={point.time:8.2f}s  {point.samples_per_sec:9.1f} samples/s  {point.note}")
+    if result.crashed:
+        print(f"CRASHED at t={result.crash_time:.1f}s")
+        return 2
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPN (SIGCOMM 2024) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="build a fabric and print its inventory")
+    _add_build_args(p)
+    p.add_argument("--output", "-o", help="save the topology as JSON")
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("validate", help="check invariants, wiring, forwarding")
+    _add_build_args(p)
+    p.add_argument("--input", "-i", help="load a topology JSON instead of building")
+    p.add_argument("--probe-pairs", type=int, default=32,
+                   help="host pairs to probe in the forwarding check")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("complexity", help="print Table 1")
+    p.set_defaults(func=cmd_complexity)
+
+    p = sub.add_parser("train", help="simulate one training iteration")
+    _add_build_args(p)
+    p.add_argument("--model", default="llama-7b", choices=sorted(_MODELS))
+    p.add_argument("--job-hosts", type=int, default=8)
+    p.add_argument("--pp", type=int, default=1)
+    p.add_argument("--microbatches", type=int, default=18)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("inject", help="fault-injection drill (Figure 18)")
+    _add_build_args(p)
+    p.add_argument("--model", default="llama-7b", choices=sorted(_MODELS))
+    p.add_argument("--job-hosts", type=int, default=8)
+    p.add_argument("--microbatches", type=int, default=18)
+    p.add_argument("--fail-at", type=float, default=10.0)
+    p.add_argument("--repair-at", type=float, default=60.0)
+    p.add_argument("--duration", type=float, default=300.0)
+    p.set_defaults(func=cmd_inject)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

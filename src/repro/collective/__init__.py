@@ -1,0 +1,59 @@
+"""Collective communication on the simulated fabric."""
+
+from .allgather import allgather
+from .allreduce import CollectiveResult, allreduce
+from .alltoall import AllToAllResult, all_to_all
+from .comm import Communicator, Rank, RDMA_DPORT
+from .lb import (
+    Connection,
+    LeastLoadedPolicy,
+    MessageScheduler,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    SingleConnectionPolicy,
+    establish_conns,
+)
+from .model import (
+    GpuBoxProfile,
+    H800_BOX,
+    allgather_busbw,
+    allreduce_busbw,
+    ring_allgather_edge_bytes,
+    ring_allreduce_edge_bytes,
+)
+from .multiallreduce import MultiAllReduceResult, multi_allreduce
+from .reducescatter import reduce_scatter
+from .sendrecv import SendRecvResult, pipeline_exchange, send_recv
+from .tree import auto_allreduce, tree_allreduce
+
+__all__ = [
+    "auto_allreduce",
+    "tree_allreduce",
+    "reduce_scatter",
+    "AllToAllResult",
+    "CollectiveResult",
+    "Communicator",
+    "Connection",
+    "GpuBoxProfile",
+    "H800_BOX",
+    "LeastLoadedPolicy",
+    "MessageScheduler",
+    "MultiAllReduceResult",
+    "RDMA_DPORT",
+    "Rank",
+    "RoundRobinPolicy",
+    "SchedulingPolicy",
+    "SendRecvResult",
+    "SingleConnectionPolicy",
+    "all_to_all",
+    "allgather",
+    "allgather_busbw",
+    "allreduce",
+    "allreduce_busbw",
+    "establish_conns",
+    "multi_allreduce",
+    "pipeline_exchange",
+    "ring_allgather_edge_bytes",
+    "ring_allreduce_edge_bytes",
+    "send_recv",
+]

@@ -1,0 +1,44 @@
+"""AllGather on the simulated fabric.
+
+Same hierarchical structure as AllReduce, but NVLS cannot aggregate
+gathers in the NVSwitch, so the intra-host stage runs at the NVSwitch
+ceiling (``allgather_cap_gbps``). That ceiling binds on both HPN and
+DCN+, which is why Figure 17b shows near-parity between architectures.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import CollectiveError
+from ..fabric.simulator import FluidSimulator
+from .allreduce import CollectiveResult
+from .comm import Communicator
+from .model import ring_allgather_edge_bytes
+
+
+def allgather(comm: Communicator, size_bytes: float) -> CollectiveResult:
+    """Simulate one AllGather producing ``size_bytes`` on every rank."""
+    if size_bytes <= 0:
+        raise CollectiveError("AllGather size must be positive")
+    g = comm.gpus_per_host
+    h = comm.num_hosts
+    profile = comm.profile
+
+    inter = 0.0
+    if h > 1:
+        # per rail, host i contributes its shard; ring AllGather of S/g
+        shard = size_bytes / g if g else size_bytes
+        per_edge = ring_allgather_edge_bytes(shard, h)
+        flows = comm.all_rails_ring_flows(per_edge, tag="allgather")
+        sim = FluidSimulator(comm.topo)
+        sim.add_flows(flows)
+        # AllGather runs half the steps of AllReduce
+        inter = sim.run().finish_time + profile.ring_latency_seconds(h) / 2
+    intra = profile.intra_allgather_time(size_bytes, g)
+    return CollectiveResult(
+        op="allgather",
+        size_bytes=size_bytes,
+        world_size=comm.world_size,
+        intra_seconds=intra,
+        inter_seconds=inter,
+        pipelined=True,  # chunked rings overlap the two stages
+    )

@@ -1,0 +1,87 @@
+"""AllReduce on the simulated fabric.
+
+The hierarchical (rail-optimized) algorithm NCCL runs on these boxes:
+
+1. intra-host reduce-scatter over NVLink/NVSwitch (NVLS-assisted), after
+   which GPU ``r`` of every host owns shard ``r`` (``S / gpus``);
+2. per-rail inter-host ring AllReduce of each shard -- this is the only
+   stage that touches the Ethernet fabric, and the stage where HPN and
+   DCN+ diverge (ECMP collisions stretch the slowest ring edge);
+3. intra-host AllGather of the reduced shards.
+
+``allreduce`` returns a timing breakdown plus NCCL-convention busbw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import CollectiveError
+from ..fabric.simulator import FluidSimulator
+from .comm import Communicator
+from .model import allreduce_busbw, ring_allreduce_edge_bytes
+
+
+@dataclass
+class CollectiveResult:
+    """Timing breakdown of one collective operation.
+
+    ``pipelined`` operations overlap the intra-host and inter-host
+    stages chunk by chunk (plain ring AllGather), so the slower stage
+    sets the pace; non-pipelined ones (NVLS AllReduce, whose in-switch
+    reduction must complete before shards leave the host) serialize.
+    """
+
+    op: str
+    size_bytes: float
+    world_size: int
+    intra_seconds: float
+    inter_seconds: float
+    pipelined: bool = False
+
+    @property
+    def seconds(self) -> float:
+        if self.pipelined:
+            return max(self.intra_seconds, self.inter_seconds)
+        return self.intra_seconds + self.inter_seconds
+
+    @property
+    def busbw_bytes_per_sec(self) -> float:
+        if self.op == "allreduce":
+            return allreduce_busbw(self.size_bytes, self.world_size, self.seconds)
+        from .model import allgather_busbw
+
+        return allgather_busbw(self.size_bytes, self.world_size, self.seconds)
+
+    @property
+    def busbw_gb_per_sec(self) -> float:
+        return self.busbw_bytes_per_sec / 1e9
+
+
+def allreduce(comm: Communicator, size_bytes: float) -> CollectiveResult:
+    """Simulate one AllReduce of ``size_bytes`` over the communicator."""
+    if size_bytes <= 0:
+        raise CollectiveError("AllReduce size must be positive")
+    g = comm.gpus_per_host
+    h = comm.num_hosts
+    profile = comm.profile
+
+    intra = profile.intra_reduce_scatter_time(size_bytes, g)
+    inter = 0.0
+    if h > 1:
+        shard = size_bytes / g if g else size_bytes
+        per_edge = ring_allreduce_edge_bytes(shard, h)
+        flows = comm.all_rails_ring_flows(per_edge, tag="allreduce")
+        sim = FluidSimulator(comm.topo)
+        sim.add_flows(flows)
+        # bandwidth term from the fluid sim + fixed alpha term per step
+        inter = sim.run().finish_time + profile.ring_latency_seconds(h)
+    # the closing intra-host AllGather also rides NVLS
+    intra += profile.intra_reduce_scatter_time(size_bytes, g)
+    return CollectiveResult(
+        op="allreduce",
+        size_bytes=size_bytes,
+        world_size=comm.world_size,
+        intra_seconds=intra,
+        inter_seconds=inter,
+    )

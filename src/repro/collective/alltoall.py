@@ -1,0 +1,91 @@
+"""All-to-all (MoE expert-parallel traffic, paper section 10).
+
+Every rank sends ``size / world`` bytes to every other rank. Source and
+destination GPUs inherently live on *different rails*, which is exactly
+the pattern that breaks the rail-only tier-2 assumption: on a rail-only
+fabric cross-rail bytes must first relay over NVLink to the destination
+rail's NIC, burning intra-host bandwidth and serializing behind it.
+
+``all_to_all`` handles both fabrics: on any-to-any networks cross-rail
+pairs ride the aggregation layer directly; on rail-only networks they
+are relayed (modeled as a same-rail network flow plus an NVLink hop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.errors import CollectiveError
+from ..fabric.simulator import FluidSimulator
+from ..topos.railonly import cross_rail_reachable
+from .comm import Communicator
+
+
+@dataclass
+class AllToAllResult:
+    size_bytes: float
+    world_size: int
+    network_seconds: float
+    relay_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.network_seconds + self.relay_seconds
+
+    @property
+    def busbw_gb_per_sec(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        moved = (self.world_size - 1) / self.world_size * self.size_bytes
+        return moved / self.seconds / 1e9
+
+
+def all_to_all(comm: Communicator, size_bytes: float) -> AllToAllResult:
+    """Simulate an all-to-all of total ``size_bytes`` per rank."""
+    if size_bytes <= 0:
+        raise CollectiveError("all-to-all size must be positive")
+    world = comm.world_size
+    if world < 2:
+        raise CollectiveError("all-to-all needs at least 2 ranks")
+    per_pair = size_bytes / world
+    railonly = comm.topo.meta.get("architecture") == "railonly"
+
+    flows: List = []
+    relay_bytes_per_host = 0.0
+    for src in comm.ranks:
+        for dst in comm.ranks:
+            if src.host == dst.host:
+                continue  # NVLink, negligible next to network time
+            if railonly and not cross_rail_reachable(comm.topo, src.gpu, dst.gpu):
+                # relay: NVLink to dst-rail NIC on the source host, then
+                # the network on the destination rail
+                relay_bytes_per_host += per_pair
+                flows.extend(
+                    comm.edge_flows(
+                        src.host, dst.host, dst.gpu, per_pair,
+                        tag=f"a2a-relay/{src.index}->{dst.index}",
+                    )
+                )
+            else:
+                flows.extend(
+                    comm.edge_flows(
+                        src.host, dst.host, src.gpu, per_pair,
+                        tag=f"a2a/{src.index}->{dst.index}",
+                    )
+                )
+    sim = FluidSimulator(comm.topo)
+    sim.add_flows(flows)
+    network_seconds = sim.run().finish_time
+    relay_seconds = 0.0
+    if relay_bytes_per_host:
+        # relayed bytes traverse NVLink once per host on average
+        relay_seconds = comm.profile.intra_p2p_time(
+            relay_bytes_per_host / max(1, comm.num_hosts)
+        )
+    return AllToAllResult(
+        size_bytes=size_bytes,
+        world_size=world,
+        network_seconds=network_seconds,
+        relay_seconds=relay_seconds,
+    )

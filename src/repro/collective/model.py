@@ -1,0 +1,111 @@
+"""Analytic collective-communication cost model.
+
+Volume factors follow the NCCL conventions:
+
+* ring AllReduce moves ``2*(n-1)/n * S`` bytes across each ring edge;
+* ring AllGather / ReduceScatter move ``(n-1)/n * S``;
+* *bus bandwidth* (busbw) normalizes measured time so results are
+  comparable across operations: ``busbw = factor * S / t``.
+
+Intra-host stages ride NVLink/NVSwitch. :class:`GpuBoxProfile` captures
+the three effective intra-host rates that matter to the paper's
+figures: plain NVLink p2p, NVSwitch-aggregated AllReduce (NVLS), and
+the AllGather ceiling (NVLS cannot accelerate AllGather, so AllGather
+is NVSwitch-bound on both architectures -- the parity in Figure 17b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.units import gbps_to_bytes_per_sec
+
+
+def ring_allreduce_edge_bytes(size_bytes: float, n: int) -> float:
+    """Bytes crossing each ring edge for an ``n``-rank AllReduce."""
+    if n < 2:
+        return 0.0
+    return 2.0 * (n - 1) / n * size_bytes
+
+
+def ring_allgather_edge_bytes(size_bytes: float, n: int) -> float:
+    """Bytes crossing each ring edge for an n-rank AllGather.
+
+    ``size_bytes`` is the *total* output size (NCCL convention), each
+    rank contributing ``size/n``.
+    """
+    if n < 2:
+        return 0.0
+    return (n - 1) / n * size_bytes
+
+
+def allreduce_busbw(size_bytes: float, n: int, seconds: float) -> float:
+    """NCCL busbw (bytes/s) for an AllReduce of ``size_bytes``."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return ring_allreduce_edge_bytes(size_bytes, n) / seconds
+
+
+def allgather_busbw(size_bytes: float, n: int, seconds: float) -> float:
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return ring_allgather_edge_bytes(size_bytes, n) / seconds
+
+
+@dataclass(frozen=True)
+class GpuBoxProfile:
+    """Effective intra-host rates of one 8-GPU server (Gbps per GPU).
+
+    Defaults approximate an H800 box with 400 GBps bidirectional
+    NVLink: ``nvlink_gbps`` is the per-GPU point-to-point rate;
+    ``nvls_allreduce_gbps`` the per-GPU effective rate when NVSwitch
+    aggregates reductions in-fabric (NVLS); ``allgather_cap_gbps`` the
+    NVSwitch ceiling that bounds AllGather on any network (Figure 17b).
+
+    ``hop_latency_seconds`` and ``step_overhead_seconds`` feed the
+    alpha-beta cost model: each ring step pays a fixed latency on top
+    of the bandwidth term, which is what bends the busbw curves down at
+    small message sizes (the left side of Figure 17).
+    """
+
+    nvlink_gbps: float = 1600.0
+    nvls_allreduce_gbps: float = 3200.0
+    allgather_cap_gbps: float = 800.0
+    #: one-way network hop latency (switch + serialization + cable)
+    hop_latency_seconds: float = 2e-6
+    #: per-ring-step software/NIC overhead (launch, completion)
+    step_overhead_seconds: float = 6e-6
+
+    def ring_latency_seconds(self, hosts: int, hops_per_edge: int = 4) -> float:
+        """Fixed (size-independent) cost of an inter-host ring pass.
+
+        A ring AllReduce runs ``2*(hosts-1)`` steps; each step crosses
+        ``hops_per_edge`` links and pays the per-step overhead.
+        """
+        if hosts < 2:
+            return 0.0
+        steps = 2 * (hosts - 1)
+        return steps * (
+            self.step_overhead_seconds + hops_per_edge * self.hop_latency_seconds
+        )
+
+    def intra_reduce_scatter_time(self, size_bytes: float, gpus: int) -> float:
+        """NVLS-assisted intra-host reduce-scatter of ``size_bytes``."""
+        if gpus < 2:
+            return 0.0
+        moved = (gpus - 1) / gpus * size_bytes
+        return moved / gbps_to_bytes_per_sec(self.nvls_allreduce_gbps)
+
+    def intra_allgather_time(self, size_bytes: float, gpus: int) -> float:
+        if gpus < 2:
+            return 0.0
+        moved = (gpus - 1) / gpus * size_bytes
+        return moved / gbps_to_bytes_per_sec(self.allgather_cap_gbps)
+
+    def intra_p2p_time(self, size_bytes: float) -> float:
+        """One NVLink hop (used for cross-rail relays)."""
+        return size_bytes / gbps_to_bytes_per_sec(self.nvlink_gbps)
+
+
+#: default profile shared by examples/benchmarks
+H800_BOX = GpuBoxProfile()

@@ -1,0 +1,69 @@
+"""Point-to-point Send/Recv (pipeline-parallel traffic).
+
+PP exchanges activations/gradients between consecutive stages with
+plain Send/Recv over few connections and modest volume (Table 3: ~6 MB
+per iteration), which is why the paper routes PP across the
+oversubscribed core layer (section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import CollectiveError
+from ..fabric.simulator import FluidSimulator
+from .comm import Communicator
+
+
+@dataclass
+class SendRecvResult:
+    size_bytes: float
+    seconds: float
+
+    @property
+    def goodput_gbps(self) -> float:
+        return self.size_bytes * 8 / 1e9 / self.seconds if self.seconds > 0 else 0.0
+
+
+def send_recv(
+    comm: Communicator,
+    src_host: str,
+    dst_host: str,
+    rail: int,
+    size_bytes: float,
+) -> SendRecvResult:
+    """Simulate one Send/Recv between two hosts on one rail."""
+    if size_bytes <= 0:
+        raise CollectiveError("message size must be positive")
+    flows = comm.edge_flows(src_host, dst_host, rail, size_bytes, tag="sendrecv")
+    sim = FluidSimulator(comm.topo)
+    sim.add_flows(flows)
+    return SendRecvResult(size_bytes, sim.run().finish_time)
+
+
+def pipeline_exchange(
+    comm: Communicator,
+    stage_pairs: Sequence[Tuple[str, str]],
+    size_bytes: float,
+    rails: Optional[Sequence[int]] = None,
+) -> SendRecvResult:
+    """All stage boundaries exchange activations concurrently.
+
+    ``stage_pairs`` lists (sender host, receiver host) per boundary;
+    ``rails`` selects which NICs carry it (default: rail 0).
+    """
+    rails = list(rails) if rails is not None else [0]
+    flows: List = []
+    for src, dst in stage_pairs:
+        for rail in rails:
+            flows.extend(
+                comm.edge_flows(
+                    src, dst, rail, size_bytes / len(rails), tag="pp-exchange"
+                )
+            )
+    if not flows:
+        return SendRecvResult(size_bytes, 0.0)
+    sim = FluidSimulator(comm.topo)
+    sim.add_flows(flows)
+    return SendRecvResult(size_bytes, sim.run().finish_time)

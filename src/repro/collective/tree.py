@@ -1,0 +1,97 @@
+"""Tree AllReduce and ring/tree auto-selection.
+
+NCCL switches from ring to double-binary-tree AllReduce below a size
+threshold: a tree finishes in ``O(log n)`` latency steps instead of the
+ring's ``O(n)``, at the cost of moving the full buffer on every tree
+edge. The auto-selector reproduces that crossover, which is what keeps
+small-message busbw from collapsing at large scale (left side of
+Figure 17a).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..core.errors import CollectiveError
+from ..fabric.simulator import FluidSimulator
+from .allreduce import CollectiveResult, allreduce as ring_allreduce
+from .comm import Communicator
+
+
+def _tree_edges(hosts: List[str]) -> List[Tuple[str, str]]:
+    """Parent links of a binary tree over the hosts (index heap order)."""
+    edges = []
+    for i in range(1, len(hosts)):
+        parent = (i - 1) // 2
+        edges.append((hosts[i], hosts[parent]))
+    return edges
+
+
+def tree_allreduce(comm: Communicator, size_bytes: float) -> CollectiveResult:
+    """Simulate a reduce-to-root + broadcast tree AllReduce.
+
+    Each tree edge carries the full (per-rail) shard once up and once
+    down; the latency cost is ``2 * ceil(log2 h)`` steps instead of the
+    ring's ``2 (h-1)``.
+    """
+    if size_bytes <= 0:
+        raise CollectiveError("AllReduce size must be positive")
+    g = comm.gpus_per_host
+    h = comm.num_hosts
+    profile = comm.profile
+
+    intra = 2 * profile.intra_reduce_scatter_time(size_bytes, g)
+    inter = 0.0
+    if h > 1:
+        shard = size_bytes / g if g else size_bytes
+        flows = []
+        for rail in range(g):
+            for child, parent in _tree_edges(comm.hosts):
+                # reduce up + broadcast down = 2x the shard per edge
+                flows.extend(
+                    comm.edge_flows(child, parent, rail, shard, tag="tree-up")
+                )
+                flows.extend(
+                    comm.edge_flows(parent, child, rail, shard, tag="tree-down")
+                )
+        sim = FluidSimulator(comm.topo)
+        sim.add_flows(flows)
+        depth = max(1, math.ceil(math.log2(h)))
+        steps = 2 * depth
+        alpha = steps * (
+            profile.step_overhead_seconds + 4 * profile.hop_latency_seconds
+        )
+        inter = sim.run().finish_time + alpha
+    return CollectiveResult(
+        op="allreduce",
+        size_bytes=size_bytes,
+        world_size=comm.world_size,
+        intra_seconds=intra,
+        inter_seconds=inter,
+    )
+
+
+def auto_allreduce(
+    comm: Communicator, size_bytes: float
+) -> Tuple[str, CollectiveResult]:
+    """Pick ring or tree the way NCCL's tuner would: simulate cheaply by
+    the alpha-beta estimate, run the winner, and return (algo, result)."""
+    h = comm.num_hosts
+    if h <= 2:
+        return "ring", ring_allreduce(comm, size_bytes)
+    # alpha-beta estimates: ring beta is optimal, tree alpha is optimal
+    profile = comm.profile
+    beta = 1.0 / 50e9  # seconds per byte at 400 Gbps
+    shard = size_bytes / max(1, comm.gpus_per_host)
+    ring_cost = profile.ring_latency_seconds(h) + 2 * (h - 1) / h * shard * beta
+    depth = max(1, math.ceil(math.log2(h)))
+    tree_alpha = 2 * depth * (
+        profile.step_overhead_seconds + 4 * profile.hop_latency_seconds
+    )
+    # a tree parent receives from two children through one NIC: the
+    # effective per-edge bandwidth halves (incast), doubling beta
+    tree_cost = tree_alpha + 2 * shard * (2 * beta)
+    if tree_cost < ring_cost:
+        return "tree", tree_allreduce(comm, size_bytes)
+    return "ring", ring_allreduce(comm, size_bytes)

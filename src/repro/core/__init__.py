@@ -1,0 +1,57 @@
+"""Core entity model: units, errors, entities, topology container."""
+
+from .entities import (
+    Gpu,
+    Host,
+    Link,
+    Nic,
+    NodeKind,
+    Port,
+    PortKind,
+    PortRef,
+    Switch,
+    SwitchRole,
+)
+from .errors import (
+    AccessError,
+    CollectiveError,
+    PlacementError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    SpecError,
+    TopologyError,
+)
+from .serialize import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from .topology import Topology
+
+__all__ = [
+    "load_topology",
+    "save_topology",
+    "topology_from_dict",
+    "topology_to_dict",
+    "Gpu",
+    "Host",
+    "Link",
+    "Nic",
+    "NodeKind",
+    "Port",
+    "PortKind",
+    "PortRef",
+    "Switch",
+    "SwitchRole",
+    "Topology",
+    "ReproError",
+    "TopologyError",
+    "SpecError",
+    "RoutingError",
+    "SimulationError",
+    "AccessError",
+    "PlacementError",
+    "CollectiveError",
+]

@@ -1,0 +1,98 @@
+"""IP and MAC address assignment.
+
+HPN forwards purely at layer 3 between dual-ToR sets (BGP with /32 host
+routes); each backend NIC gets one IP shared by both of its ports. We
+assign addresses deterministically from the topology coordinates:
+
+* backend NIC of rail ``r`` on host ``i`` of segment ``s`` in pod ``p``
+  gets ``10.{p}.{s * 8 + r}.{i}`` -- one /24 per (segment, rail), which
+  also matches the paper's property that different dual-ToR sets sit in
+  different layer-2 subnets (so the reserved virtual-router MAC used by
+  non-stacked LACP never collides);
+* MACs are derived from a host counter.
+
+The frontend NIC gets addresses from ``172.16.0.0/12``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from .entities import Nic
+from .errors import TopologyError
+from .topology import Topology
+
+#: RFC 3768 virtual-router MAC used as the shared LACP system MAC on both
+#: switches of a non-stacked dual-ToR set (paper section 4.2).
+VIRTUAL_ROUTER_MAC = "00:00:5E:00:01:01"
+
+
+def _mac_from_counter(counter: int) -> str:
+    if counter >= 1 << 40:
+        raise TopologyError("MAC counter overflow")
+    octets = [0x02] + [(counter >> shift) & 0xFF for shift in (32, 24, 16, 8, 0)]
+    return ":".join(f"{o:02x}" for o in octets)
+
+
+def backend_ip(pod: int, segment: int, rail: int, host_index: int) -> str:
+    """Deterministic backend NIC IP for the given coordinates."""
+    if not 0 <= rail < 8:
+        raise TopologyError(f"rail out of range: {rail}")
+    third = segment * 8 + rail
+    return f"10.{pod % 256}.{third % 256}.{host_index % 250 + 1}"
+
+
+def frontend_ip(pod: int, segment: int, host_index: int) -> str:
+    return f"172.16.{(pod * 16 + segment) % 256}.{host_index % 250 + 1}"
+
+
+@dataclass(frozen=True)
+class SubnetKey:
+    """Identifies the /24 shared by one dual-ToR set."""
+
+    pod: int
+    segment: int
+    rail: int
+
+    def cidr(self) -> str:
+        return f"10.{self.pod % 256}.{(self.segment * 8 + self.rail) % 256}.0/24"
+
+
+def assign_addresses(topo: Topology) -> Dict[str, str]:
+    """Assign IPs/MACs to every NIC in ``topo``; returns ip -> NIC name."""
+    ip_index: Dict[str, str] = {}
+    mac_counter = 0
+    for host in topo.hosts.values():
+        for nic in host.nics:
+            if nic.is_frontend:
+                nic.ip = frontend_ip(host.pod, host.segment, host.index)
+            else:
+                nic.ip = backend_ip(host.pod, host.segment, nic.rail, host.index)
+            nic.mac = _mac_from_counter(mac_counter)
+            mac_counter += 1
+            if nic.ip in ip_index:
+                raise TopologyError(
+                    f"IP collision: {nic.ip} on {nic.name} and {ip_index[nic.ip]}"
+                )
+            ip_index[nic.ip] = nic.name
+    return ip_index
+
+
+def iter_subnets(topo: Topology) -> Iterator[Tuple[SubnetKey, list]]:
+    """Group backend NICs by their dual-ToR /24 subnet."""
+    groups: Dict[SubnetKey, list] = {}
+    for host in topo.hosts.values():
+        for nic in host.backend_nics():
+            key = SubnetKey(host.pod, host.segment, nic.rail)
+            groups.setdefault(key, []).append(nic)
+    yield from groups.items()
+
+
+def nic_by_ip(topo: Topology, ip: str) -> Nic:
+    """Linear lookup of a NIC by IP (tests/examples convenience)."""
+    for host in topo.hosts.values():
+        for nic in host.nics:
+            if nic.ip == ip:
+                return nic
+    raise KeyError(f"no NIC with ip {ip}")

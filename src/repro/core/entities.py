@@ -1,0 +1,187 @@
+"""Typed entities making up a datacenter network topology.
+
+The model mirrors the hardware inventory in the HPN paper:
+
+* a :class:`Host` carries 8 GPUs, 8 backend NICs (one per *rail*) and one
+  frontend NIC; each backend NIC exposes two 200 Gbps ports wired to two
+  different ToR switches (dual-ToR);
+* a :class:`Switch` is a single-chip Ethernet switch whose role (ToR,
+  aggregation, core) and tier place it in the Clos;
+* a :class:`Link` is a full-duplex cable between two :class:`Port` objects.
+
+Entities are plain dataclasses; the containing :class:`~repro.core.topology.
+Topology` owns identity and lookup.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class NodeKind(enum.Enum):
+    """Top-level node classification."""
+
+    HOST = "host"
+    SWITCH = "switch"
+
+
+class SwitchRole(enum.Enum):
+    """Where a switch sits in the fabric."""
+
+    TOR = "tor"
+    AGG = "agg"
+    CORE = "core"
+
+
+class PortKind(enum.Enum):
+    """Orientation of a switch port relative to the Clos hierarchy."""
+
+    DOWN = "down"  # towards hosts
+    UP = "up"      # towards higher tier
+    HOST = "host"  # a NIC port on a host
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """Stable reference to a port: ``(node name, port index)``."""
+
+    node: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"{self.node}#{self.index}"
+
+
+@dataclass
+class Port:
+    """One physical port on a node."""
+
+    ref: PortRef
+    gbps: float
+    kind: PortKind
+    #: link id this port is wired into, or None when unconnected
+    link_id: Optional[int] = None
+    #: for NIC ports: which NIC and which of its two ports this is
+    nic_index: Optional[int] = None
+    nic_port: Optional[int] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.link_id is not None
+
+
+@dataclass
+class Link:
+    """Full-duplex link between two ports, symmetric capacity."""
+
+    link_id: int
+    a: PortRef
+    b: PortRef
+    gbps: float
+    #: operational state; failures flip this to False
+    up: bool = True
+
+    def other(self, node: str) -> PortRef:
+        """The endpoint on the far side of ``node``."""
+        if self.a.node == node:
+            return self.b
+        if self.b.node == node:
+            return self.a
+        raise ValueError(f"link {self.link_id} does not touch {node}")
+
+    def endpoints(self) -> Tuple[PortRef, PortRef]:
+        return (self.a, self.b)
+
+
+@dataclass
+class Gpu:
+    """A GPU inside a host; ``rail`` is its index within the host (0-7)."""
+
+    host: str
+    rail: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.host}/gpu{self.rail}"
+
+
+@dataclass
+class Nic:
+    """A dual-port NIC.
+
+    Backend NICs (``rail >= 0``) serve exactly one GPU; the frontend NIC
+    has ``rail == -1``. Both ports share one IP and one MAC -- this is the
+    property dual-ToR relies on to keep RDMA QP state valid across a port
+    failover.
+    """
+
+    host: str
+    index: int          # NIC number on the host (0..8); 0 may be frontend
+    rail: int           # GPU rail served, or -1 for frontend
+    ports: Tuple[PortRef, ...] = ()
+    ip: Optional[str] = None
+    mac: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.host}/nic{self.index}"
+
+    @property
+    def is_frontend(self) -> bool:
+        return self.rail < 0
+
+
+@dataclass
+class Host:
+    """A GPU server."""
+
+    name: str
+    kind: NodeKind = field(default=NodeKind.HOST, init=False)
+    pod: int = 0
+    segment: int = 0
+    index: int = 0            # host index within its segment
+    backup: bool = False      # backup hosts hang off ToR backup ports
+    gpus: list = field(default_factory=list)
+    nics: list = field(default_factory=list)
+    #: intra-host GPU interconnect bandwidth, GBps per direction (NVLink)
+    nvlink_gbps: float = 3200.0
+
+    def backend_nics(self):
+        return [n for n in self.nics if not n.is_frontend]
+
+    def frontend_nic(self) -> Optional[Nic]:
+        for nic in self.nics:
+            if nic.is_frontend:
+                return nic
+        return None
+
+    def nic_for_rail(self, rail: int) -> Nic:
+        for nic in self.nics:
+            if nic.rail == rail:
+                return nic
+        raise KeyError(f"{self.name} has no NIC for rail {rail}")
+
+
+@dataclass
+class Switch:
+    """A single-chip switch."""
+
+    name: str
+    role: SwitchRole
+    kind: NodeKind = field(default=NodeKind.SWITCH, init=False)
+    tier: int = 1             # 1=ToR, 2=Agg, 3=Core
+    pod: int = 0
+    segment: Optional[int] = None   # ToR only
+    plane: Optional[int] = None     # dual-plane membership (0/1), None=n/a
+    rail: Optional[int] = None      # ToR only: which rail it serves
+    #: chip capacity in Gbps (e.g. 51200 for the 51.2T chip)
+    chip_gbps: float = 51200.0
+    #: ECMP hash seed; switches sharing a seed hash identically (polarization)
+    hash_seed: int = 0
+    up: bool = True
+
+    @property
+    def is_tor(self) -> bool:
+        return self.role is SwitchRole.TOR

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at integration boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class TopologyError(ReproError):
+    """The topology is malformed (port budget exceeded, dangling link...)."""
+
+
+class SpecError(ReproError):
+    """An architecture spec is internally inconsistent."""
+
+
+class RoutingError(ReproError):
+    """No route exists, or routing state is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The fluid simulator reached an invalid state."""
+
+
+class AccessError(ReproError):
+    """Dual-ToR access-layer protocol error (LACP/ARP/BGP model)."""
+
+
+class PlacementError(ReproError):
+    """A training job cannot be placed on the cluster."""
+
+
+class CollectiveError(ReproError):
+    """A collective operation was configured inconsistently."""

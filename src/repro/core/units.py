@@ -1,0 +1,58 @@
+"""Unit constants and conversion helpers.
+
+Internally the library uses:
+
+* bandwidth -- gigabits per second (Gbps), stored as ``float``
+* data size -- bytes, stored as ``int`` or ``float``
+* time      -- seconds, stored as ``float``
+
+These helpers keep unit conversions explicit at API boundaries so that
+callers never pass a raw magic number whose unit is ambiguous.
+"""
+
+from __future__ import annotations
+
+# --- data sizes (bytes) ------------------------------------------------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+# --- bandwidth (Gbps) ---------------------------------------------------
+GBPS_200 = 200.0
+GBPS_400 = 400.0
+
+#: Bits per byte; used when converting sizes to transfer times.
+BITS_PER_BYTE = 8
+
+# --- time (seconds) -----------------------------------------------------
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def gbps_to_bytes_per_sec(gbps: float) -> float:
+    """Convert a Gbps link rate into bytes/second."""
+    return gbps * 1e9 / BITS_PER_BYTE
+
+
+def bytes_per_sec_to_gbps(bps: float) -> float:
+    """Convert bytes/second into Gbps."""
+    return bps * BITS_PER_BYTE / 1e9
+
+
+def transfer_time(size_bytes: float, gbps: float) -> float:
+    """Seconds needed to move ``size_bytes`` at a steady ``gbps`` rate."""
+    if gbps <= 0:
+        raise ValueError(f"rate must be positive, got {gbps}")
+    return size_bytes / gbps_to_bytes_per_sec(gbps)
+
+
+def gb_per_sec(gbps: float) -> float:
+    """Gbps expressed as gigaBYTES per second (NCCL busbw convention)."""
+    return gbps / BITS_PER_BYTE

@@ -1,0 +1,33 @@
+"""Fluid flow-level fabric simulator, queue model and telemetry."""
+
+from .flow import Flow
+from .queues import QueueTracker
+from .replay import IterationReplay, NicSeries
+from .simulator import FluidSimulator, SimResult, max_min_rates, run_flows
+from .telemetry import (
+    agg_ingress_gbps,
+    dirlink_loads,
+    imbalance_ratio,
+    jain_fairness,
+    port_egress_gbps,
+    tor_ports_towards_nic,
+    uplink_spread,
+)
+
+__all__ = [
+    "IterationReplay",
+    "NicSeries",
+    "Flow",
+    "FluidSimulator",
+    "QueueTracker",
+    "SimResult",
+    "agg_ingress_gbps",
+    "dirlink_loads",
+    "imbalance_ratio",
+    "jain_fairness",
+    "max_min_rates",
+    "port_egress_gbps",
+    "run_flows",
+    "tor_ports_towards_nic",
+    "uplink_spread",
+]

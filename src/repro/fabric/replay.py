@@ -1,0 +1,119 @@
+"""Iteration replay: training traffic over wall-clock time.
+
+Replays a training job's periodic communication phases through the
+fluid simulator and records per-NIC egress over time -- the simulated
+counterpart of the paper's production measurement in Figure 2 (the
+workload generator in :mod:`repro.workloads.llm` produces the same
+shape synthetically; this one derives it from first principles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.topology import Topology
+from .flow import Flow
+from .simulator import FluidSimulator
+from .telemetry import dirlink_loads
+
+
+@dataclass
+class NicSeries:
+    """Egress samples of one NIC: (time, gbps) pairs."""
+
+    host: str
+    rail: int
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def peak(self) -> float:
+        return max((g for _t, g in self.samples), default=0.0)
+
+    def duty_cycle(self, threshold_fraction: float = 0.5) -> float:
+        if not self.samples:
+            return 0.0
+        peak = self.peak()
+        if peak <= 0:
+            return 0.0
+        busy = sum(1 for _t, g in self.samples if g >= threshold_fraction * peak)
+        return busy / len(self.samples)
+
+
+@dataclass
+class IterationReplay:
+    """Replays N iterations: compute gap, then the burst flow set."""
+
+    topo: Topology
+    compute_seconds: float
+    #: factory producing a fresh burst flow set (flows are consumed)
+    make_burst_flows: "callable"
+    sample_dt: float = 0.1
+
+    def run(
+        self,
+        iterations: int,
+        watch: Sequence[Tuple[str, int]],
+    ) -> Dict[Tuple[str, int], NicSeries]:
+        """Simulate ``iterations`` and sample the watched NICs' egress."""
+        series = {
+            (host, rail): NicSeries(host, rail) for host, rail in watch
+        }
+        now = 0.0
+        for _i in range(iterations):
+            # compute phase: NICs idle
+            t = now
+            while t < now + self.compute_seconds:
+                for key in series:
+                    series[key].samples.append((t, 0.0))
+                t += self.sample_dt
+            now += self.compute_seconds
+
+            # burst phase: drive the flows, sampling every sample_dt
+            flows: List[Flow] = self.make_burst_flows()
+            for f in flows:
+                f.start_time = now
+            sim = FluidSimulator(self.topo)
+            sim.now = now
+            sim.add_flows(flows)
+            now = self._burst_end(sim, series, now)
+        return series
+
+    def _burst_end(
+        self,
+        sim: FluidSimulator,
+        series: Dict[Tuple[str, int], NicSeries],
+        start: float,
+    ) -> float:
+        """Run the burst, sampling each watched NIC every sample_dt.
+
+        Samples are taken from the most recent rate solve covering each
+        sampling instant, so bursts shorter than ``sample_dt`` still
+        register at their true rate.
+        """
+        current_loads: Dict[int, float] = {}
+
+        def on_solve(s: FluidSimulator, _rates) -> None:
+            current_loads.clear()
+            current_loads.update(dirlink_loads(s.active_flows))
+
+        sim.on_solve = on_solve
+        t = start
+        while True:
+            result = sim.run(until=t + self.sample_dt)
+            for (host, rail), ns in series.items():
+                ns.samples.append((t, self._nic_egress(current_loads, host, rail)))
+            t += self.sample_dt
+            if not sim.active_flows:
+                return max(t, result.finish_time)
+
+    def _nic_egress(self, loads: Dict[int, float], host: str, rail: int) -> float:
+        nic = self.topo.hosts[host].nic_for_rail(rail)
+        total = 0.0
+        for pref in nic.ports:
+            port = self.topo.port(pref)
+            if port.link_id is None:
+                continue
+            link = self.topo.links[port.link_id]
+            direction = 0 if link.a.node == host else 1
+            total += loads.get(link.link_id * 2 + direction, 0.0)
+        return total

@@ -1,0 +1,55 @@
+"""Hardware models: switch chips, cooling, and build cost."""
+
+from .cost import (
+    BuildingConstraint,
+    cost_report,
+    network_cost,
+    single_pod_vs_multi_pod_saving,
+    transceiver_saving,
+)
+from .switchchip import (
+    ChipGeneration,
+    GENERATIONS,
+    HPN_TOR_PORTS,
+    PortConfig,
+    ReliabilityComparison,
+    capacity_doubling_years,
+    generation,
+    power_increase,
+)
+from .thermal import (
+    AMBIENT_CELSIUS,
+    CoolingSolution,
+    HEAT_PIPE,
+    OPTIMIZED_VC,
+    ORIGINAL_VC,
+    SOLUTIONS,
+    T_JMAX_CELSIUS,
+    cooling_report,
+    optimization_gain,
+)
+
+__all__ = [
+    "AMBIENT_CELSIUS",
+    "BuildingConstraint",
+    "ChipGeneration",
+    "CoolingSolution",
+    "GENERATIONS",
+    "HEAT_PIPE",
+    "HPN_TOR_PORTS",
+    "OPTIMIZED_VC",
+    "ORIGINAL_VC",
+    "PortConfig",
+    "ReliabilityComparison",
+    "SOLUTIONS",
+    "T_JMAX_CELSIUS",
+    "capacity_doubling_years",
+    "cooling_report",
+    "cost_report",
+    "generation",
+    "network_cost",
+    "optimization_gain",
+    "power_increase",
+    "single_pod_vs_multi_pod_saving",
+    "transceiver_saving",
+]

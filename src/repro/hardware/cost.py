@@ -1,0 +1,77 @@
+"""Build-cost models (paper section 10 lessons).
+
+Two cost claims are modeled:
+
+* keeping one Pod inside one 18 MW building keeps all fibers under
+  100 m, allowing multi-mode transceivers that cost ~30% of single-mode
+  ones (a 70% saving per optic);
+* covering 15K GPUs with a single Pod instead of several smaller pods
+  removes the core-layer links/switches those pods would need, saving
+  ~30% of the network build cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.topology import Topology
+
+#: relative optic prices (single-mode = 1.0)
+SINGLE_MODE_COST = 1.0
+MULTI_MODE_COST = 0.3
+
+#: relative cost units per element
+SWITCH_COST = 40.0
+LINK_COST_MM = 2 * MULTI_MODE_COST   # two transceivers per link
+LINK_COST_SM = 2 * SINGLE_MODE_COST
+
+
+@dataclass(frozen=True)
+class BuildingConstraint:
+    """Datacenter building envelope (section 10)."""
+
+    power_megawatts: float = 18.0
+    gpus_supported: int = 15_360
+    intra_building_fiber_meters: float = 100.0
+
+    def pods_per_building(self, gpus_per_pod: int) -> int:
+        return max(1, self.gpus_supported // gpus_per_pod)
+
+
+def transceiver_saving() -> float:
+    """Fractional cost cut of multi-mode vs single-mode (paper: 70%)."""
+    return 1.0 - MULTI_MODE_COST / SINGLE_MODE_COST
+
+
+def network_cost(
+    topo: Topology,
+    cross_building_fraction: float = 0.0,
+) -> float:
+    """Relative build cost: switches + optics, mixed by fiber reach."""
+    switches = len(topo.switches)
+    links = len(topo.links)
+    long_links = links * cross_building_fraction
+    short_links = links - long_links
+    return (
+        switches * SWITCH_COST
+        + short_links * LINK_COST_MM
+        + long_links * LINK_COST_SM
+    )
+
+
+def single_pod_vs_multi_pod_saving(
+    single_pod_cost: float, multi_pod_cost: float
+) -> float:
+    """Fractional saving of one big pod over several small pods."""
+    if multi_pod_cost <= 0:
+        raise ValueError("multi-pod cost must be positive")
+    return 1.0 - single_pod_cost / multi_pod_cost
+
+
+def cost_report(topo: Topology) -> Dict[str, float]:
+    return {
+        "switches": float(len(topo.switches)),
+        "links": float(len(topo.links)),
+        "relative_cost": network_cost(topo),
+    }

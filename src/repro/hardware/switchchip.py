@@ -1,0 +1,113 @@
+"""Switch-chip generations: capacity, port configs, power (Figure 9a).
+
+The paper's choice of the 51.2 Tbps *single-chip* switch rests on two
+observations modeled here:
+
+* power per chip grows sub-linearly with capacity -- the 51.2T part
+  draws ~45% more than the 25.6T part while doubling capacity;
+* multi-chip chassis fail ~3.8x more often per unit than single-chip
+  switches, so single-chip is the only option at this radix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ChipGeneration:
+    """One Ethernet switch ASIC generation."""
+
+    name: str
+    capacity_gbps: float
+    power_watts: float
+    year: int
+    max_junction_celsius: float = 105.0
+
+    @property
+    def watts_per_tbps(self) -> float:
+        return self.power_watts / (self.capacity_gbps / 1000.0)
+
+
+#: generation series; power follows the paper's relative curve
+#: (the 51.2T chip draws 45% more than the 25.6T one)
+GENERATIONS: Tuple[ChipGeneration, ...] = (
+    ChipGeneration("3.2T", 3_200, 180.0, 2015),
+    ChipGeneration("6.4T", 6_400, 230.0, 2017),
+    ChipGeneration("12.8T", 12_800, 300.0, 2019),
+    ChipGeneration("25.6T", 25_600, 380.0, 2021),
+    ChipGeneration("51.2T", 51_200, 551.0, 2023),  # = 380 * 1.45
+    ChipGeneration("102.4T", 102_400, 800.0, 2025),
+)
+
+
+def generation(name: str) -> ChipGeneration:
+    for gen in GENERATIONS:
+        if gen.name == name:
+            return gen
+    raise KeyError(f"unknown chip generation {name!r}")
+
+
+def power_increase(older: str, newer: str) -> float:
+    """Fractional power growth between two generations (paper: 0.45)."""
+    a, b = generation(older), generation(newer)
+    return b.power_watts / a.power_watts - 1.0
+
+
+def capacity_doubling_years(history: Tuple[ChipGeneration, ...] = GENERATIONS) -> float:
+    """Average years per capacity doubling (paper: ~2 years)."""
+    import math
+
+    first, last = history[0], history[-1]
+    doublings = math.log2(last.capacity_gbps / first.capacity_gbps)
+    return (last.year - first.year) / doublings
+
+
+@dataclass(frozen=True)
+class PortConfig:
+    """Port layout of a switch role built from one chip."""
+
+    chip: ChipGeneration
+    down_ports: int
+    down_gbps: float
+    up_ports: int
+    up_gbps: float
+    backup_down_ports: int = 0
+
+    def used_gbps(self) -> float:
+        return (
+            (self.down_ports + self.backup_down_ports) * self.down_gbps
+            + self.up_ports * self.up_gbps
+        )
+
+    def fits_chip(self) -> bool:
+        return self.used_gbps() <= self.chip.capacity_gbps + 1e-6
+
+
+#: HPN's ToR layout on the 51.2T chip (section 5.1)
+HPN_TOR_PORTS = PortConfig(
+    chip=generation("51.2T"),
+    down_ports=128,
+    down_gbps=200.0,
+    up_ports=60,
+    up_gbps=400.0,
+    backup_down_ports=8,
+)
+
+
+@dataclass(frozen=True)
+class ReliabilityComparison:
+    """Single-chip vs multi-chip fleet reliability (section 5.1)."""
+
+    single_chip_units: float = 32.6   # relative fleet size
+    multi_chip_units: float = 1.0
+    single_chip_critical_failures: float = 1.0
+    multi_chip_critical_failures: float = 3.77
+
+    @property
+    def per_unit_failure_ratio(self) -> float:
+        """How much more often one multi-chip unit fails vs single-chip."""
+        single = self.single_chip_critical_failures / self.single_chip_units
+        multi = self.multi_chip_critical_failures / self.multi_chip_units
+        return multi / single

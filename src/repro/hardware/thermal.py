@@ -1,0 +1,76 @@
+"""Cooling solutions and junction-temperature model (Figures 9b-10).
+
+The 51.2T chip's power exceeds what heat pipes or the vendor's stock
+vapor chamber can remove before the junction hits 105 C, at which point
+over-temperature protection kills forwarding. The customized vapor
+chamber (more wicked pillars at the die center, section 5.1) raises
+cooling capacity by 15% and is the only solution with headroom at full
+power.
+
+First-order model: junction temperature rises linearly with power over
+ambient through the solution's thermal resistance; a solution "allows"
+an operating power equal to the power at which the junction reaches
+``t_jmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .switchchip import ChipGeneration, generation
+
+#: chips shut down above this junction temperature (unchanged across gens)
+T_JMAX_CELSIUS = 105.0
+AMBIENT_CELSIUS = 35.0
+
+
+@dataclass(frozen=True)
+class CoolingSolution:
+    """One heat-sink option."""
+
+    name: str
+    #: power (W) removable before the junction reaches T_jmax
+    allowed_power_watts: float
+
+    def junction_celsius(self, power_watts: float) -> float:
+        """Linear junction-temperature estimate at ``power_watts``."""
+        headroom = T_JMAX_CELSIUS - AMBIENT_CELSIUS
+        if self.allowed_power_watts <= 0:
+            raise ValueError("cooling capacity must be positive")
+        return AMBIENT_CELSIUS + headroom * (power_watts / self.allowed_power_watts)
+
+    def supports(self, chip: ChipGeneration) -> bool:
+        """Whether the chip can run at full power without tripping OTP."""
+        return self.junction_celsius(chip.power_watts) <= T_JMAX_CELSIUS
+
+    def shutdown_under_load(self, chip: ChipGeneration, load_factor: float = 1.0) -> bool:
+        return self.junction_celsius(chip.power_watts * load_factor) > T_JMAX_CELSIUS
+
+
+#: calibrated so heat pipe and stock VC fall short of 551 W while the
+#: optimized VC (stock +15%) clears it -- matching Figure 9b's bars
+HEAT_PIPE = CoolingSolution("Heat Pipe", allowed_power_watts=460.0)
+ORIGINAL_VC = CoolingSolution("Original VC", allowed_power_watts=500.0)
+OPTIMIZED_VC = CoolingSolution("Optimized VC", allowed_power_watts=500.0 * 1.15)
+
+SOLUTIONS: Tuple[CoolingSolution, ...] = (HEAT_PIPE, ORIGINAL_VC, OPTIMIZED_VC)
+
+
+def cooling_report(chip_name: str = "51.2T") -> Dict[str, Dict[str, float]]:
+    """Figure 9b as data: allowed power vs the chip's draw per solution."""
+    chip = generation(chip_name)
+    out = {}
+    for sol in SOLUTIONS:
+        out[sol.name] = {
+            "allowed_power_watts": sol.allowed_power_watts,
+            "chip_power_watts": chip.power_watts,
+            "supports_full_power": sol.supports(chip),
+            "junction_at_full_power": sol.junction_celsius(chip.power_watts),
+        }
+    return out
+
+
+def optimization_gain() -> float:
+    """Cooling-efficiency gain of the optimized VC (paper: 15%)."""
+    return OPTIMIZED_VC.allowed_power_watts / ORIGINAL_VC.allowed_power_watts - 1.0

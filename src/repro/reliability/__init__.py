@@ -1,0 +1,73 @@
+"""Failure models, fault injection, and single-point-of-failure analysis."""
+
+from .failures import (
+    FaultEvent,
+    FaultKind,
+    link_failure_scenario,
+    link_flapping_scenario,
+    tor_crash_scenario,
+)
+from .injector import (
+    DEFAULT_CRASH_TIMEOUT,
+    DEFAULT_RECONNECT_STALL,
+    FaultInjector,
+    InjectionResult,
+    TimelinePoint,
+)
+from .montecarlo import (
+    FleetSimulation,
+    JobFootprint,
+    MonthOutcome,
+    expected_crash_free_months,
+)
+from .scenarios import (
+    cascading_flaps,
+    double_fault,
+    rolling_upgrade,
+    tor_crash_with_slow_replacement,
+)
+from .singlepoint import (
+    SpofReport,
+    analyze_access_link_spof,
+    analyze_tor_spof,
+    disconnected_hosts_on_tor_failure,
+)
+from .stats import (
+    DAILY_FLAP_RANGE,
+    FleetFailureModel,
+    MONTHLY_LINK_FAILURE_RATE,
+    MONTHLY_TOR_FAILURE_RATE,
+    expected_crashes_per_month,
+    monthly_series,
+)
+
+__all__ = [
+    "cascading_flaps",
+    "double_fault",
+    "rolling_upgrade",
+    "tor_crash_with_slow_replacement",
+    "FleetSimulation",
+    "JobFootprint",
+    "MonthOutcome",
+    "expected_crash_free_months",
+    "DAILY_FLAP_RANGE",
+    "DEFAULT_CRASH_TIMEOUT",
+    "DEFAULT_RECONNECT_STALL",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FleetFailureModel",
+    "InjectionResult",
+    "MONTHLY_LINK_FAILURE_RATE",
+    "MONTHLY_TOR_FAILURE_RATE",
+    "SpofReport",
+    "TimelinePoint",
+    "analyze_access_link_spof",
+    "analyze_tor_spof",
+    "disconnected_hosts_on_tor_failure",
+    "expected_crashes_per_month",
+    "link_failure_scenario",
+    "link_flapping_scenario",
+    "monthly_series",
+    "tor_crash_scenario",
+]

@@ -1,0 +1,81 @@
+"""Failure event primitives: link down, link flap, ToR crash.
+
+Events target topology elements by role, so the same scenario script
+runs against HPN (dual-ToR) and single-ToR baselines; the injector
+resolves them to concrete link ids at run time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.topology import Topology
+
+
+class FaultKind(enum.Enum):
+    LINK_DOWN = "link-down"
+    LINK_UP = "link-up"
+    TOR_DOWN = "tor-down"
+    TOR_UP = "tor-up"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault/repair."""
+
+    time: float
+    kind: FaultKind
+    #: access-link target: (host, rail, nic port); or switch name
+    host: Optional[str] = None
+    rail: Optional[int] = None
+    nic_port: int = 0
+    switch: Optional[str] = None
+
+    def resolve_link(self, topo: Topology) -> int:
+        """Link id of the targeted access link."""
+        if self.host is None or self.rail is None:
+            raise ValueError("event does not target an access link")
+        nic = topo.hosts[self.host].nic_for_rail(self.rail)
+        port = topo.port(nic.ports[self.nic_port])
+        if port.link_id is None:
+            raise ValueError(f"{nic.name} port {self.nic_port} is unwired")
+        return port.link_id
+
+
+def link_failure_scenario(
+    host: str, rail: int, fail_at: float, repair_at: Optional[float] = None,
+    nic_port: int = 0,
+) -> List[FaultEvent]:
+    """Figure 18a: one access link fails, optionally repaired later."""
+    events = [FaultEvent(fail_at, FaultKind.LINK_DOWN, host=host, rail=rail,
+                         nic_port=nic_port)]
+    if repair_at is not None:
+        events.append(FaultEvent(repair_at, FaultKind.LINK_UP, host=host,
+                                 rail=rail, nic_port=nic_port))
+    return events
+
+
+def link_flapping_scenario(
+    host: str, rail: int, start: float, flaps: int = 3,
+    down_seconds: float = 0.5, up_seconds: float = 2.0, nic_port: int = 0,
+) -> List[FaultEvent]:
+    """Figure 18b: repeated short down/up cycles on one access link."""
+    events = []
+    t = start
+    for _ in range(flaps):
+        events.append(FaultEvent(t, FaultKind.LINK_DOWN, host=host, rail=rail,
+                                 nic_port=nic_port))
+        events.append(FaultEvent(t + down_seconds, FaultKind.LINK_UP, host=host,
+                                 rail=rail, nic_port=nic_port))
+        t += down_seconds + up_seconds
+    return events
+
+
+def tor_crash_scenario(switch: str, fail_at: float,
+                       repair_at: Optional[float] = None) -> List[FaultEvent]:
+    events = [FaultEvent(fail_at, FaultKind.TOR_DOWN, switch=switch)]
+    if repair_at is not None:
+        events.append(FaultEvent(repair_at, FaultKind.TOR_UP, switch=switch))
+    return events

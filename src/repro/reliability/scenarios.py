@@ -1,0 +1,105 @@
+"""Composite failure scenarios.
+
+Reusable multi-event drills built on the primitive fault events --
+the situations operators actually debug, each returning the event list
+a :class:`~repro.reliability.injector.FaultInjector` replays:
+
+* :func:`rolling_upgrade` -- take each ToR of a dual-ToR set down in
+  turn (the maintenance pattern non-stacked dual-ToR makes safe);
+* :func:`cascading_flaps` -- flap storms hopping across hosts (the
+  5K-60K daily flap reality of paper §2.3);
+* :func:`tor_crash_with_slow_replacement` -- a ToR dies and hardware
+  replacement takes hours; training must ride on the sibling plane;
+* :func:`double_fault` -- the dual-ToR kill condition: both access
+  legs of one NIC fail in overlapping windows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.topology import Topology
+from .failures import FaultEvent, FaultKind, link_flapping_scenario
+
+
+def rolling_upgrade(
+    topo: Topology,
+    host: str,
+    rail: int,
+    start: float = 10.0,
+    per_tor_downtime: float = 30.0,
+    gap: float = 20.0,
+) -> List[FaultEvent]:
+    """Upgrade both ToRs of one dual-ToR set, one at a time."""
+    tors = topo.tors_of_host(host)
+    nic = topo.hosts[host].nic_for_rail(rail)
+    serving = []
+    for pref in nic.ports:
+        port = topo.port(pref)
+        if port.link_id is not None:
+            serving.append(topo.links[port.link_id].other(host).node)
+    events: List[FaultEvent] = []
+    t = start
+    for tor in serving:
+        events.append(FaultEvent(t, FaultKind.TOR_DOWN, switch=tor))
+        events.append(FaultEvent(t + per_tor_downtime, FaultKind.TOR_UP, switch=tor))
+        t += per_tor_downtime + gap
+    return events
+
+
+def cascading_flaps(
+    hosts: Sequence[str],
+    rail: int = 0,
+    start: float = 5.0,
+    flaps_per_host: int = 2,
+    stagger: float = 8.0,
+) -> List[FaultEvent]:
+    """Flap storms moving host to host (correlated optics degradation)."""
+    events: List[FaultEvent] = []
+    t = start
+    for host in hosts:
+        events.extend(
+            link_flapping_scenario(
+                host, rail, start=t, flaps=flaps_per_host,
+                down_seconds=0.5, up_seconds=1.5,
+            )
+        )
+        t += stagger
+    return events
+
+
+def tor_crash_with_slow_replacement(
+    topo: Topology,
+    host: str,
+    rail: int,
+    crash_at: float = 10.0,
+    replacement_hours: float = 2.0,
+) -> List[FaultEvent]:
+    """One ToR of the set dies; replacement arrives hours later."""
+    nic = topo.hosts[host].nic_for_rail(rail)
+    port = topo.port(nic.ports[0])
+    tor = topo.links[port.link_id].other(host).node
+    return [
+        FaultEvent(crash_at, FaultKind.TOR_DOWN, switch=tor),
+        FaultEvent(
+            crash_at + replacement_hours * 3600.0, FaultKind.TOR_UP, switch=tor
+        ),
+    ]
+
+
+def double_fault(
+    host: str,
+    rail: int,
+    first_at: float = 10.0,
+    second_at: float = 20.0,
+    repair_first: float = 60.0,
+    repair_second: float = 90.0,
+) -> List[FaultEvent]:
+    """Both access legs of one NIC fail with overlapping outages --
+    the only access pattern that halts a dual-ToR job."""
+    return [
+        FaultEvent(first_at, FaultKind.LINK_DOWN, host=host, rail=rail, nic_port=0),
+        FaultEvent(second_at, FaultKind.LINK_DOWN, host=host, rail=rail, nic_port=1),
+        FaultEvent(repair_first, FaultKind.LINK_UP, host=host, rail=rail, nic_port=0),
+        FaultEvent(repair_second, FaultKind.LINK_UP, host=host, rail=rail, nic_port=1),
+    ]

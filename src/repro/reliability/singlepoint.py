@@ -1,0 +1,97 @@
+"""Single-point-of-failure analysis over a topology (paper goal G3).
+
+HPN's claim: no single ToR (or access link) failure disconnects a host.
+The analyzer brute-forces it: fail each switch (or access link) in
+turn and check whether any active host loses all backend connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.entities import SwitchRole
+from ..core.topology import Topology
+
+
+@dataclass
+class SpofReport:
+    """Which elements are single points of failure."""
+
+    spof_switches: List[str] = field(default_factory=list)
+    spof_links: List[int] = field(default_factory=list)
+    switches_checked: int = 0
+    links_checked: int = 0
+
+    @property
+    def is_spof_free(self) -> bool:
+        return not self.spof_switches and not self.spof_links
+
+
+def _host_disconnected(topo: Topology, host: str) -> bool:
+    """All backend NICs of a host lost every live access leg."""
+    h = topo.hosts[host]
+    for nic in h.backend_nics():
+        alive = False
+        for pref in nic.ports:
+            port = topo.port(pref)
+            if port.link_id is not None and topo.links[port.link_id].up:
+                alive = True
+                break
+        if not alive:
+            return True
+    return False
+
+
+def analyze_tor_spof(topo: Topology) -> SpofReport:
+    """Fail every ToR in turn and test host connectivity."""
+    report = SpofReport()
+    for sw in topo.switches_by_role(SwitchRole.TOR):
+        report.switches_checked += 1
+        failed_links = topo.fail_node(sw.name)
+        try:
+            victims = [
+                h for h in topo.hosts_of_tor(sw.name) if _host_disconnected(topo, h)
+            ]
+            if victims:
+                report.spof_switches.append(sw.name)
+        finally:
+            topo.recover_node(sw.name)
+            for lid in failed_links:
+                topo.set_link_state(lid, up=True)
+    return report
+
+
+def analyze_access_link_spof(topo: Topology, sample_every: int = 1) -> SpofReport:
+    """Fail access links (host<->ToR) in turn; sampled for big fabrics."""
+    report = SpofReport()
+    count = 0
+    for host in topo.hosts.values():
+        for nic in host.backend_nics():
+            for pref in nic.ports:
+                port = topo.port(pref)
+                if port.link_id is None:
+                    continue
+                count += 1
+                if (count - 1) % sample_every:
+                    continue
+                report.links_checked += 1
+                link = topo.links[port.link_id]
+                link.up = False
+                try:
+                    if _host_disconnected(topo, host.name):
+                        report.spof_links.append(link.link_id)
+                finally:
+                    link.up = True
+    return report
+
+
+def disconnected_hosts_on_tor_failure(topo: Topology, tor: str) -> List[str]:
+    """Hosts that would lose connectivity if ``tor`` crashed."""
+    failed = topo.fail_node(tor)
+    try:
+        return [h for h in topo.hosts_of_tor(tor) if _host_disconnected(topo, h)]
+    finally:
+        topo.recover_node(tor)
+        for lid in failed:
+            topo.set_link_state(lid, up=True)

@@ -1,0 +1,73 @@
+"""Failure statistics (paper 2.3, Figure 5).
+
+Production rates the paper reports, used both to regenerate Figure 5's
+monthly series and to estimate how often a large job crashes:
+
+* 0.057% of NIC-ToR links fail per month;
+* 0.051% of ToR switches hit critical errors per month;
+* 5K-60K link-flap events per day fleet-wide.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: paper-reported monthly rates
+MONTHLY_LINK_FAILURE_RATE = 0.00057
+MONTHLY_TOR_FAILURE_RATE = 0.00051
+DAILY_FLAP_RANGE = (5_000, 60_000)
+
+SECONDS_PER_MONTH = 30 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class FleetFailureModel:
+    """Poisson failure model for one job's footprint."""
+
+    monthly_link_rate: float = MONTHLY_LINK_FAILURE_RATE
+    monthly_tor_rate: float = MONTHLY_TOR_FAILURE_RATE
+
+    def job_crash_rate_per_month(self, links: int, tors: int) -> float:
+        """Expected fatal events per month for a single-ToR-style job
+        where any link or ToR failure crashes training."""
+        return links * self.monthly_link_rate + tors * self.monthly_tor_rate
+
+    def job_mtbf_seconds(self, links: int, tors: int) -> float:
+        rate = self.job_crash_rate_per_month(links, tors)
+        if rate <= 0:
+            return math.inf
+        return SECONDS_PER_MONTH / rate
+
+
+def monthly_series(
+    months: int = 12,
+    base_rate: float = MONTHLY_LINK_FAILURE_RATE,
+    jitter: float = 0.35,
+    seed: int = 23,
+) -> List[Tuple[str, float]]:
+    """Figure 5-style series: (month label, failure ratio)."""
+    rng = random.Random(seed)
+    labels = [f"{(1 + i) % 12 + 1:02d}/23" for i in range(months)]
+    out = []
+    for label in labels:
+        ratio = base_rate * (1.0 + rng.uniform(-jitter, jitter))
+        out.append((label, max(0.0, ratio)))
+    return out
+
+
+def expected_crashes_per_month(num_gpus: int,
+                               links_per_gpu: float = 1.0,
+                               gpus_per_tor: int = 128) -> float:
+    """Paper's observation: a single large job sees 1-2 crashes/month.
+
+    A 3K-GPU single-ToR job touches ~3K access links and ~dozens of
+    ToRs; with the production rates that lands at one to two fatal
+    events per month.
+    """
+    model = FleetFailureModel()
+    links = int(num_gpus * links_per_gpu)
+    tors = max(1, num_gpus // gpus_per_tor)
+    return model.job_crash_rate_per_month(links, tors)

@@ -1,0 +1,50 @@
+"""Routing: hash family, ECMP walker, RePaC path probing, complexity."""
+
+from .complexity import (
+    ComplexityRow,
+    card_complexity,
+    failure_recalc_scope,
+    measured_complexity,
+    table1,
+)
+from .ecmp import AccessLeg, Router
+from .hashing import (
+    FiveTuple,
+    ecmp_index,
+    ecmp_select,
+    hash_five_tuple,
+    polarization_coefficient,
+)
+from .path import FlowPath, decode_dirlink, disjoint, encode_dirlink, mutually_disjoint
+from .perport import per_port_index, select_core_egress
+from .repac import DisjointPathSet, PathProbe, find_paths, max_disjoint_paths
+from .verify import ForwardingReport, ForwardingViolation, verify_forwarding
+
+__all__ = [
+    "ForwardingReport",
+    "ForwardingViolation",
+    "verify_forwarding",
+    "AccessLeg",
+    "ComplexityRow",
+    "DisjointPathSet",
+    "FiveTuple",
+    "FlowPath",
+    "PathProbe",
+    "Router",
+    "card_complexity",
+    "decode_dirlink",
+    "disjoint",
+    "ecmp_index",
+    "ecmp_select",
+    "encode_dirlink",
+    "failure_recalc_scope",
+    "find_paths",
+    "hash_five_tuple",
+    "max_disjoint_paths",
+    "measured_complexity",
+    "mutually_disjoint",
+    "per_port_index",
+    "polarization_coefficient",
+    "select_core_egress",
+    "table1",
+]

@@ -1,0 +1,74 @@
+"""Deterministic ECMP hash family.
+
+Real switch ASICs hash the 5-tuple with a CRC-based function. Two
+properties matter for the paper and are preserved here:
+
+* **determinism** -- the same flow always picks the same member, which is
+  what RePaC [Zhang et al., ATC'21] exploits to *predict* per-hop egress
+  ports from the host;
+* **fleet correlation** -- switches of the same model ship the same hash
+  function. When every hop hashes the same unchanged 5-tuple with the
+  same function, flows that collided once keep colliding downstream:
+  *hash polarization*. We model this with per-switch seeds; a polarized
+  fleet shares seed 0, a diversified fleet salts per switch.
+
+The function is CRC32 over the packed tuple -- stable across processes
+and Python versions (unlike built-in ``hash``).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import NamedTuple, Sequence
+
+
+class FiveTuple(NamedTuple):
+    """A flow's classic 5-tuple. IPs are strings, ports ints."""
+
+    src_ip: str
+    dst_ip: str
+    sport: int
+    dport: int
+    proto: int = 17  # RoCEv2 rides UDP
+
+    def with_sport(self, sport: int) -> "FiveTuple":
+        return self._replace(sport=sport)
+
+
+def hash_five_tuple(ft: FiveTuple, seed: int = 0) -> int:
+    """Deterministic 32-bit hash of a 5-tuple under ``seed``."""
+    payload = (
+        ft.src_ip.encode()
+        + b"|"
+        + ft.dst_ip.encode()
+        + struct.pack("!HHBI", ft.sport & 0xFFFF, ft.dport & 0xFFFF, ft.proto & 0xFF, seed & 0xFFFFFFFF)
+    )
+    return zlib.crc32(payload)
+
+
+def ecmp_index(ft: FiveTuple, seed: int, n_members: int) -> int:
+    """ECMP member index for a flow at a switch with ``n_members`` ports."""
+    if n_members <= 0:
+        raise ValueError("ECMP group is empty")
+    if n_members == 1:
+        return 0
+    return hash_five_tuple(ft, seed) % n_members
+
+
+def ecmp_select(ft: FiveTuple, seed: int, members: Sequence):
+    """Pick one member of an ECMP group for a flow."""
+    return members[ecmp_index(ft, seed, len(members))]
+
+
+def polarization_coefficient(indices_a: Sequence[int], indices_b: Sequence[int]) -> float:
+    """Fraction of flows making the *same* member choice at two stages.
+
+    1.0 means fully polarized (every flow repeats its stage-A choice at
+    stage B); for independent hashing of k members the expectation is
+    1/k.
+    """
+    if len(indices_a) != len(indices_b) or not indices_a:
+        raise ValueError("need two equal-length non-empty index sequences")
+    same = sum(1 for a, b in zip(indices_a, indices_b) if a == b)
+    return same / len(indices_a)

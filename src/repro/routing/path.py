@@ -1,0 +1,87 @@
+"""Flow paths through a topology.
+
+A :class:`FlowPath` is the hop-by-hop trace produced by the router: the
+node sequence plus the *directed* links traversed. Directed link ids
+encode direction so the fluid simulator can account each direction of a
+full-duplex cable separately::
+
+    dirlink = link_id * 2 + (0 if traversing a->b else 1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..core.entities import Link
+
+
+def encode_dirlink(link: Link, from_node: str) -> int:
+    """Directed link id for traversing ``link`` out of ``from_node``."""
+    if link.a.node == from_node:
+        return link.link_id * 2
+    if link.b.node == from_node:
+        return link.link_id * 2 + 1
+    raise ValueError(f"{from_node} is not an endpoint of link {link.link_id}")
+
+
+def decode_dirlink(dirlink: int) -> Tuple[int, int]:
+    """Return ``(link_id, direction)`` where direction 0 means a->b."""
+    return dirlink // 2, dirlink % 2
+
+
+@dataclass
+class FlowPath:
+    """An end-to-end path: host, access ToR, (aggs/cores), dst ToR, host."""
+
+    nodes: List[str] = field(default_factory=list)
+    dirlinks: List[int] = field(default_factory=list)
+    #: plane the path rides (None for non-plane architectures)
+    plane: int = None  # type: ignore[assignment]
+
+    @property
+    def hops(self) -> int:
+        return len(self.dirlinks)
+
+    @property
+    def src(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def dst(self) -> str:
+        return self.nodes[-1]
+
+    def switch_nodes(self) -> List[str]:
+        """Interior nodes (everything but the two hosts)."""
+        return self.nodes[1:-1]
+
+    def core_dirlinks(self) -> List[int]:
+        """Directed links excluding the first and last (access) hops.
+
+        RePaC disjointness is about the fabric interior: two connections
+        between the same NIC pair necessarily share access links.
+        """
+        if len(self.dirlinks) <= 2:
+            return []
+        return self.dirlinks[1:-1]
+
+    def link_ids(self) -> Set[int]:
+        return {d // 2 for d in self.dirlinks}
+
+
+def disjoint(a: FlowPath, b: FlowPath, ignore_access: bool = True) -> bool:
+    """Whether two paths share no directed fabric link."""
+    da = a.core_dirlinks() if ignore_access else a.dirlinks
+    db = b.core_dirlinks() if ignore_access else b.dirlinks
+    return not (set(da) & set(db))
+
+
+def mutually_disjoint(paths: List[FlowPath], ignore_access: bool = True) -> bool:
+    """Whether every pair in ``paths`` is disjoint."""
+    seen: Set[int] = set()
+    for p in paths:
+        dl = set(p.core_dirlinks() if ignore_access else p.dirlinks)
+        if seen & dl:
+            return False
+        seen |= dl
+    return True

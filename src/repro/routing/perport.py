@@ -1,0 +1,42 @@
+"""Core-layer per-port deterministic hashing (paper section 7).
+
+To keep tier-3 free of hash polarization, each core switch forwards
+traffic for pod ``i`` arriving on physical port ``j`` to a *fixed*
+egress port ``k`` -- the 5-tuple plays no role, so upstream hash
+outcomes cannot correlate with the core's choice. If the selected link
+is down, the switch falls back to the default 5-tuple hash over the
+surviving members ("potential small performance degradation only under
+failure cases").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.entities import Link, Port
+from .hashing import FiveTuple, ecmp_index
+
+
+def per_port_index(ingress_port_index: int, dst_pod: int, n_members: int) -> int:
+    """Deterministic egress member for (ingress port, destination pod)."""
+    if n_members <= 0:
+        raise ValueError("ECMP group is empty")
+    return (ingress_port_index + dst_pod) % n_members
+
+
+def select_core_egress(
+    candidates: Sequence[Tuple[Port, Link]],
+    ingress_port_index: int,
+    dst_pod: int,
+    ft: FiveTuple,
+    seed: int,
+) -> Tuple[Port, Link]:
+    """Per-port selection with 5-tuple fallback on link failure."""
+    idx = per_port_index(ingress_port_index, dst_pod, len(candidates))
+    port, link = candidates[idx]
+    if link.up:
+        return port, link
+    alive = [(p, l) for p, l in candidates if l.up]
+    if not alive:
+        raise ValueError("no live core egress")
+    return alive[ecmp_index(ft, seed, len(alive))]

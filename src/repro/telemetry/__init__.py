@@ -1,0 +1,25 @@
+"""Operational telemetry: INT wiring probes, LFS/asymmetric links."""
+
+from .lfs import DirectionalLinkState, LfsModel, LfsOutcome
+from .probes import (
+    Blueprint,
+    HopRecord,
+    ProbeTrace,
+    WiringFault,
+    probe_path,
+    swap_access_links,
+    verify_wiring,
+)
+
+__all__ = [
+    "Blueprint",
+    "DirectionalLinkState",
+    "HopRecord",
+    "LfsModel",
+    "LfsOutcome",
+    "ProbeTrace",
+    "WiringFault",
+    "probe_path",
+    "swap_access_links",
+    "verify_wiring",
+]

@@ -1,0 +1,117 @@
+"""Asymmetric link states and Link Fault Signaling (paper section 10).
+
+A production lesson: optical degradation can be *directional*. The
+NIC->ToR direction goes bad while ToR->NIC stays clean; the switch
+detects it and signals the fault via LFS, but a NIC firmware bug can
+swallow the notification -- the NIC keeps transmitting into a lossy
+link. Dual-ToR turns this from a job crash into a performance dip.
+
+The model tracks per-direction quality and the LFS negotiation outcome;
+:func:`effective_loss` answers what a sender actually experiences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.entities import Link
+from ..core.topology import Topology
+
+
+class LfsOutcome(enum.Enum):
+    """Result of a Link Fault Signaling exchange."""
+
+    NOT_NEEDED = "not-needed"            # both directions clean
+    SIGNALED_AND_ACTED = "acted"         # peer stopped using the link
+    SIGNALED_BUT_IGNORED = "ignored"     # the firmware-bug case
+
+
+@dataclass
+class DirectionalLinkState:
+    """Per-direction quality of one physical link (loss fractions)."""
+
+    link_id: int
+    loss_a_to_b: float = 0.0
+    loss_b_to_a: float = 0.0
+    #: whether each endpoint's firmware honours LFS notifications
+    a_honours_lfs: bool = True
+    b_honours_lfs: bool = True
+
+    def degrade(self, direction: int, loss: float) -> None:
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss must be a fraction in [0, 1]")
+        if direction == 0:
+            self.loss_a_to_b = loss
+        else:
+            self.loss_b_to_a = loss
+
+    def is_asymmetric(self) -> bool:
+        return (self.loss_a_to_b > 0) != (self.loss_b_to_a > 0)
+
+
+@dataclass
+class LfsModel:
+    """Tracks directional states and runs the LFS protocol."""
+
+    topo: Topology
+    states: Dict[int, DirectionalLinkState] = field(default_factory=dict)
+
+    def state(self, link_id: int) -> DirectionalLinkState:
+        return self.states.setdefault(link_id, DirectionalLinkState(link_id))
+
+    def inject_asymmetric_fault(
+        self, link_id: int, bad_direction: int, loss: float,
+        victim_honours_lfs: bool = True,
+    ) -> DirectionalLinkState:
+        """Degrade one direction; the *sender* of that direction is the
+        endpoint whose firmware must react to the peer's LFS."""
+        st = self.state(link_id)
+        st.degrade(bad_direction, loss)
+        if bad_direction == 0:
+            st.a_honours_lfs = victim_honours_lfs
+        else:
+            st.b_honours_lfs = victim_honours_lfs
+        return st
+
+    def negotiate(self, link_id: int) -> LfsOutcome:
+        """Run LFS: the clean-side receiver notifies the lossy sender."""
+        st = self.states.get(link_id)
+        if st is None or (st.loss_a_to_b == 0 and st.loss_b_to_a == 0):
+            return LfsOutcome.NOT_NEEDED
+        if st.loss_a_to_b > 0 and not st.a_honours_lfs:
+            return LfsOutcome.SIGNALED_BUT_IGNORED
+        if st.loss_b_to_a > 0 and not st.b_honours_lfs:
+            return LfsOutcome.SIGNALED_BUT_IGNORED
+        return LfsOutcome.SIGNALED_AND_ACTED
+
+    def apply(self, link_id: int) -> LfsOutcome:
+        """Resolve the fault's operational effect on the topology.
+
+        * honoured LFS -> the link is taken down cleanly (dual-ToR
+          failover handles it, as for any link failure);
+        * ignored LFS -> the link stays "up" but lossy: senders keep
+          pushing packets into it (the paper's degradation case).
+        """
+        outcome = self.negotiate(link_id)
+        if outcome is LfsOutcome.SIGNALED_AND_ACTED:
+            self.topo.set_link_state(link_id, up=False)
+        return outcome
+
+    def effective_loss(self, link_id: int, direction: int) -> float:
+        st = self.states.get(link_id)
+        if st is None:
+            return 0.0
+        return st.loss_a_to_b if direction == 0 else st.loss_b_to_a
+
+    def goodput_factor(self, link_id: int, direction: int) -> float:
+        """Throughput multiplier a sender sees through the lossy link.
+
+        Loss hits RDMA goodput super-linearly (go-back-N retransmits);
+        we use a quadratic penalty as a first-order model.
+        """
+        loss = self.effective_loss(link_id, direction)
+        if loss <= 0:
+            return 1.0
+        return max(0.0, (1.0 - loss) ** 2)

@@ -1,0 +1,65 @@
+"""Topology generators: HPN, DCN+, single-ToR, fat-tree, rail-only, frontend."""
+
+from .comparisons import (
+    fattree_card,
+    hpn_card,
+    jupiter_card,
+    superpod_card,
+    table1_cards,
+)
+from .dcnplus import build_dcnplus
+from .fattree import build_fattree
+from .frontend import build_frontend
+from .hpn import build_hpn, dual_tor_pair, segment_hosts
+from .railonly import build_railonly, cross_rail_reachable
+from .singletor import build_singletor
+from .spec import (
+    ArchitectureCard,
+    DcnPlusSpec,
+    FatTreeSpec,
+    FrontendSpec,
+    HpnSpec,
+    RailOnlySpec,
+    SingleTorSpec,
+)
+from .threetier import (
+    ThreeTierSpec,
+    build_jupiter_like,
+    build_superpod_like,
+    build_threetier,
+    expected_cross_pod_complexity,
+    expected_intra_pod_complexity,
+)
+from .validate import oversubscription_report, validate
+
+__all__ = [
+    "ThreeTierSpec",
+    "build_jupiter_like",
+    "build_superpod_like",
+    "build_threetier",
+    "expected_cross_pod_complexity",
+    "expected_intra_pod_complexity",
+    "ArchitectureCard",
+    "DcnPlusSpec",
+    "FatTreeSpec",
+    "FrontendSpec",
+    "HpnSpec",
+    "RailOnlySpec",
+    "SingleTorSpec",
+    "build_dcnplus",
+    "build_fattree",
+    "build_frontend",
+    "build_hpn",
+    "build_railonly",
+    "build_singletor",
+    "cross_rail_reachable",
+    "dual_tor_pair",
+    "fattree_card",
+    "hpn_card",
+    "jupiter_card",
+    "superpod_card",
+    "segment_hosts",
+    "table1_cards",
+    "oversubscription_report",
+    "validate",
+]

@@ -1,0 +1,69 @@
+"""Architecture cards for the paper's Table 1 comparison.
+
+Table 1 compares the path-selection search space of HPN against three
+published 3-tier architectures. The quantity is structural: the product
+of ECMP fan-outs at every tier that participates in load balancing.
+These cards capture exactly the numbers the paper uses; the fan-outs are
+taken from the cited reference architectures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .spec import ArchitectureCard, HpnSpec
+
+
+def hpn_card(spec: HpnSpec = HpnSpec()) -> ArchitectureCard:
+    """HPN: only the ToR's uplink choice matters inside a pod.
+
+    Dual-plane pins the plane at the NIC port; once a ToR uplink is
+    chosen the path to any host of the pod is fully determined, so the
+    search space is the ToR fan-out (60 at production scale).
+    """
+    return ArchitectureCard(
+        name="Pod in HPN",
+        supported_gpus=spec.gpus_per_pod,
+        tiers=2,
+        lb_fanouts=(spec.tor_uplinks,),
+    )
+
+
+def superpod_card() -> ArchitectureCard:
+    """NVIDIA DGX SuperPod-like 3-tier: ToR(32) x Agg(32) x Core(4)."""
+    return ArchitectureCard(
+        name="SuperPod",
+        supported_gpus=16384,
+        tiers=3,
+        lb_fanouts=(32, 32, 4),
+    )
+
+
+def jupiter_card() -> ArchitectureCard:
+    """Google Jupiter-like: ToR(8) x aggregation-block(256)."""
+    return ArchitectureCard(
+        name="Jupiter",
+        supported_gpus=26000,
+        tiers=3,
+        lb_fanouts=(8, 256),
+    )
+
+
+def fattree_card(k: int = 48) -> ArchitectureCard:
+    """k-ary fat-tree: edge(k/2) x agg(k/2) hash stages up to the core."""
+    return ArchitectureCard(
+        name=f"Fat tree (k={k})",
+        supported_gpus=k ** 3 // 4,
+        tiers=3,
+        lb_fanouts=(k, k),
+    )
+
+
+def table1_cards(hpn_spec: HpnSpec = HpnSpec()) -> List[ArchitectureCard]:
+    """The four rows of Table 1, in paper order."""
+    return [
+        hpn_card(hpn_spec),
+        superpod_card(),
+        jupiter_card(),
+        fattree_card(48),
+    ]

@@ -1,0 +1,143 @@
+"""Topology invariant checks.
+
+``validate(topo)`` runs every check appropriate for the architecture and
+raises :class:`~repro.core.errors.TopologyError` on the first violation.
+These are the properties the paper's design leans on; the test suite
+asserts them at production scale and hypothesis fuzzes them at random
+scales.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from ..core.entities import PortKind, SwitchRole
+from ..core.errors import TopologyError
+from ..core.topology import Topology
+
+
+def validate(topo: Topology) -> None:
+    """Run all structural invariants for ``topo``."""
+    check_links_consistent(topo)
+    check_dual_tor(topo)
+    arch = topo.meta.get("architecture")
+    if arch == "hpn":
+        check_dual_plane(topo)
+        check_rail_optimized(topo)
+    if arch == "railonly":
+        check_rail_isolation(topo)
+
+
+def check_links_consistent(topo: Topology) -> None:
+    """Every link references two existing, mutually wired ports."""
+    for link in topo.links.values():
+        for ref in link.endpoints():
+            port = topo.port(ref)
+            if port.link_id != link.link_id:
+                raise TopologyError(
+                    f"port {ref} does not point back at link {link.link_id}"
+                )
+
+
+def check_dual_tor(topo: Topology) -> None:
+    """Each wired dual-port backend NIC reaches two distinct ToRs."""
+    arch = topo.meta.get("architecture")
+    if arch in ("singletor", "fattree", "threetier"):
+        return
+    for host in topo.hosts.values():
+        for nic in host.backend_nics():
+            tors = set()
+            for pref in nic.ports:
+                port = topo.port(pref)
+                if port.link_id is None:
+                    continue
+                tors.add(topo.links[port.link_id].other(host.name).node)
+            if len(tors) not in (0, 2):
+                raise TopologyError(
+                    f"{nic.name} reaches {len(tors)} ToRs, expected 2 (dual-ToR)"
+                )
+
+
+def check_dual_plane(topo: Topology) -> None:
+    """No link crosses planes above tier 1; NIC port k lands in plane k.
+
+    This is the physical-isolation property behind Figure 12b: traffic
+    entering plane 0 can only be delivered from plane 0.
+    """
+    for link in topo.links.values():
+        a, b = link.a.node, link.b.node
+        if a in topo.switches and b in topo.switches:
+            pa, pb = topo.switches[a].plane, topo.switches[b].plane
+            if pa is not None and pb is not None and pa != pb:
+                raise TopologyError(f"cross-plane link {a} <-> {b}")
+    for host in topo.hosts.values():
+        for nic in host.backend_nics():
+            for plane_idx, pref in enumerate(nic.ports):
+                port = topo.port(pref)
+                if port.link_id is None:
+                    continue
+                tor = topo.links[port.link_id].other(host.name).node
+                actual = topo.switches[tor].plane
+                if actual != plane_idx:
+                    raise TopologyError(
+                        f"{nic.name} port {plane_idx} lands in plane {actual}"
+                    )
+
+
+def check_rail_optimized(topo: Topology) -> None:
+    """Within a segment, NICs of rail r across hosts share the same ToRs."""
+    by_seg_rail: Dict[tuple, set] = defaultdict(set)
+    for host in topo.hosts.values():
+        for nic in host.backend_nics():
+            tors = frozenset(
+                topo.links[topo.port(p).link_id].other(host.name).node
+                for p in nic.ports
+                if topo.port(p).link_id is not None
+            )
+            if tors:
+                by_seg_rail[(host.pod, host.segment, nic.rail)].add(tors)
+    for key, torsets in by_seg_rail.items():
+        if len(torsets) != 1:
+            raise TopologyError(f"rail {key} is served by multiple ToR sets")
+
+
+def check_rail_isolation(topo: Topology) -> None:
+    """Rail-only: aggregation planes never mix rails."""
+    for link in topo.links.values():
+        a, b = link.a.node, link.b.node
+        if a in topo.switches and b in topo.switches:
+            ra = topo.switches[a].rail
+            rb = topo.switches[b].rail
+            if ra is not None and rb is not None and ra != rb:
+                raise TopologyError(f"cross-rail link {a} <-> {b}")
+
+
+def oversubscription_report(topo: Topology) -> Dict[str, float]:
+    """Measured down:up capacity ratio per switch role (1.0 == 1:1)."""
+    down_cap: Dict[str, float] = defaultdict(float)
+    up_cap: Dict[str, float] = defaultdict(float)
+    for sw in topo.switches.values():
+        role = sw.role.value
+        for port in topo.ports[sw.name]:
+            if not port.connected:
+                continue
+            if port.kind is PortKind.DOWN:
+                down_cap[role] += port.gbps
+            elif port.kind is PortKind.UP:
+                up_cap[role] += port.gbps
+    report = {}
+    for role in down_cap:
+        if up_cap.get(role):
+            report[role] = down_cap[role] / up_cap[role]
+    return report
+
+
+def plane_of_path_nodes(topo: Topology, nodes: List[str]) -> set:
+    """Distinct planes touched by a list of switch names (None filtered)."""
+    planes = set()
+    for name in nodes:
+        sw = topo.switches.get(name)
+        if sw is not None and sw.plane is not None:
+            planes.add(sw.plane)
+    return planes

@@ -1,0 +1,108 @@
+"""LLM training workload model: models, parallelism, traffic, iterations."""
+
+from .checkpoint import (
+    CheckpointSpec,
+    FailureCost,
+    expected_loss_per_failure,
+    representative_intervals_hours,
+    steady_state_overhead,
+    total_overhead,
+    young_daly_interval,
+)
+from .inference import (
+    InferenceWorkload,
+    ServingHost,
+    frontend_supports_inference,
+)
+from .iteration import IterationBreakdown, dp_sync_flows, simulate_iteration
+from .job import TrainingJob, make_job
+from .moe import (
+    MoeConfig,
+    MoeIterationComm,
+    rail_only_penalty,
+    simulate_moe_exchange,
+)
+from .storage import (
+    BACKEND_PLACEMENT,
+    FRONTEND_PLACEMENT,
+    StoragePlacement,
+    checkpoint_write_time,
+    placement_report,
+    training_perturbation,
+)
+from .models import (
+    GPT3_175B,
+    GpuSpec,
+    H800,
+    LLAMA_13B,
+    LLAMA_7B,
+    LlmConfig,
+    compute_seconds_per_sample,
+)
+from .parallelism import GpuSlot, ParallelismPlan, Placement
+from .placement_opt import compare_orderings, optimize_order, placement_cost
+from .scheduler import Scheduler
+from .zero import (
+    ZeroStage,
+    ZeroTraffic,
+    simulate_zero_sync,
+    zero_traffic,
+)
+from .traffic import (
+    IterationTraffic,
+    dp_gradient_bytes,
+    iteration_traffic,
+    pp_boundary_bytes,
+    tp_activation_bytes,
+)
+
+__all__ = [
+    "compare_orderings",
+    "optimize_order",
+    "placement_cost",
+    "ZeroStage",
+    "ZeroTraffic",
+    "simulate_zero_sync",
+    "zero_traffic",
+    "InferenceWorkload",
+    "ServingHost",
+    "frontend_supports_inference",
+    "BACKEND_PLACEMENT",
+    "FRONTEND_PLACEMENT",
+    "MoeConfig",
+    "MoeIterationComm",
+    "StoragePlacement",
+    "checkpoint_write_time",
+    "placement_report",
+    "rail_only_penalty",
+    "simulate_moe_exchange",
+    "training_perturbation",
+    "CheckpointSpec",
+    "FailureCost",
+    "GPT3_175B",
+    "GpuSlot",
+    "GpuSpec",
+    "H800",
+    "IterationBreakdown",
+    "IterationTraffic",
+    "LLAMA_13B",
+    "LLAMA_7B",
+    "LlmConfig",
+    "ParallelismPlan",
+    "Placement",
+    "Scheduler",
+    "TrainingJob",
+    "compute_seconds_per_sample",
+    "dp_gradient_bytes",
+    "dp_sync_flows",
+    "expected_loss_per_failure",
+    "iteration_traffic",
+    "make_job",
+    "pp_boundary_bytes",
+    "representative_intervals_hours",
+    "simulate_iteration",
+    "steady_state_overhead",
+    "total_overhead",
+    "tp_activation_bytes",
+    "young_daly_interval",
+]

@@ -1,0 +1,77 @@
+"""Checkpointing and failure-recovery economics (paper 2.3, Figure 4).
+
+Customers checkpoint every 2-4 hours because a checkpoint costs ~100 s
+of stalled training and ~30 GB per GPU of storage; the paper cites
+~5% steady-state overhead at those intervals and a 30K USD loss per
+crash of a 3K-GPU job (20K USD/hour).
+
+The module provides both the forward model (overhead/loss for a given
+interval) and the Young-Daly optimum, plus the cost accounting the
+paper quotes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.units import GB, HOUR
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Cost parameters of checkpointing one job."""
+
+    write_seconds: float = 100.0
+    restore_seconds: float = 300.0
+    bytes_per_gpu: float = 30 * GB
+
+    def storage_bytes(self, num_gpus: int) -> float:
+        return self.bytes_per_gpu * num_gpus
+
+
+def steady_state_overhead(interval_seconds: float, spec: CheckpointSpec) -> float:
+    """Fraction of wall-clock lost to checkpoint writes."""
+    if interval_seconds <= 0:
+        raise ValueError("interval must be positive")
+    return spec.write_seconds / (interval_seconds + spec.write_seconds)
+
+
+def expected_loss_per_failure(interval_seconds: float, spec: CheckpointSpec) -> float:
+    """Expected seconds of lost work when a crash hits: half an interval
+    of rollback plus the restore time."""
+    return interval_seconds / 2.0 + spec.restore_seconds
+
+
+def young_daly_interval(mtbf_seconds: float, spec: CheckpointSpec) -> float:
+    """Young's approximation of the optimal checkpoint interval."""
+    if mtbf_seconds <= 0:
+        raise ValueError("MTBF must be positive")
+    return math.sqrt(2.0 * spec.write_seconds * mtbf_seconds)
+
+
+def total_overhead(
+    interval_seconds: float, mtbf_seconds: float, spec: CheckpointSpec
+) -> float:
+    """Checkpoint overhead + expected rollback loss, as a fraction."""
+    ckpt = steady_state_overhead(interval_seconds, spec)
+    loss = expected_loss_per_failure(interval_seconds, spec) / mtbf_seconds
+    return ckpt + loss
+
+
+@dataclass(frozen=True)
+class FailureCost:
+    """Dollar accounting of one crash (paper's 30K USD example)."""
+
+    dollars_per_hour: float = 20_000.0
+    rollback_seconds: float = 1.5 * HOUR
+
+    @property
+    def dollars_lost(self) -> float:
+        return self.dollars_per_hour * self.rollback_seconds / HOUR
+
+
+def representative_intervals_hours() -> dict:
+    """Checkpoint intervals of the paper's four representative LLM jobs
+    (Figure 4, read off the bars)."""
+    return {"LLM1": 2.0, "LLM2": 3.0, "LLM3": 3.5, "LLM4": 4.0}

@@ -1,0 +1,84 @@
+"""Inference serving over the frontend network (paper section 8).
+
+The frontend's 2x200G per host was sized so training hosts can serve
+inference too ("a unified platform supporting users' various
+demands"). The model answers the sizing question: given a model's
+token sizes and a request mix, how many requests/s can one host's
+frontend NIC carry, and does a mixed training+inference deployment fit?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.units import gbps_to_bytes_per_sec
+from .models import GpuSpec, H800, LlmConfig
+
+
+@dataclass(frozen=True)
+class InferenceWorkload:
+    """One serving workload's shape."""
+
+    prompt_tokens: int = 512
+    output_tokens: int = 256
+    bytes_per_token: int = 4          # request/response wire encoding
+    kv_bytes_per_token: float = 0.0   # nonzero when KV is shipped (disagg)
+
+    def request_bytes(self) -> float:
+        return self.prompt_tokens * self.bytes_per_token
+
+    def response_bytes(self) -> float:
+        return self.output_tokens * self.bytes_per_token
+
+    def wire_bytes(self) -> float:
+        total_kv = self.kv_bytes_per_token * (self.prompt_tokens + self.output_tokens)
+        return self.request_bytes() + self.response_bytes() + total_kv
+
+
+@dataclass(frozen=True)
+class ServingHost:
+    """A training host moonlighting as an inference server."""
+
+    frontend_gbps: float = 400.0
+    gpu: GpuSpec = H800
+    gpus: int = 8
+    #: fraction of frontend bandwidth reserved for storage/management
+    reserved_fraction: float = 0.25
+
+    def network_requests_per_sec(self, wl: InferenceWorkload) -> float:
+        """Request rate the frontend NIC supports."""
+        usable = gbps_to_bytes_per_sec(self.frontend_gbps) * (
+            1.0 - self.reserved_fraction
+        )
+        return usable / wl.wire_bytes()
+
+    def compute_requests_per_sec(self, config: LlmConfig, wl: InferenceWorkload) -> float:
+        """Request rate the GPUs support (2 FLOPs/param/token decode)."""
+        flops_per_request = 2.0 * config.params * (wl.prompt_tokens + wl.output_tokens)
+        total = self.gpu.sustained_flops * self.gpus
+        return total / flops_per_request
+
+    def bottleneck(self, config: LlmConfig, wl: InferenceWorkload) -> str:
+        net = self.network_requests_per_sec(wl)
+        comp = self.compute_requests_per_sec(config, wl)
+        return "network" if net < comp else "compute"
+
+    def requests_per_sec(self, config: LlmConfig, wl: InferenceWorkload) -> float:
+        return min(
+            self.network_requests_per_sec(wl),
+            self.compute_requests_per_sec(config, wl),
+        )
+
+
+def frontend_supports_inference(
+    config: LlmConfig,
+    wl: InferenceWorkload = InferenceWorkload(),
+    host: ServingHost = ServingHost(),
+    headroom: float = 2.0,
+) -> bool:
+    """The section-8 design check: the frontend NIC must not be the
+    bottleneck (with ``headroom``x margin) for realistic serving."""
+    return (
+        host.network_requests_per_sec(wl)
+        >= headroom * host.compute_requests_per_sec(config, wl)
+    )

@@ -1,0 +1,128 @@
+"""Training-iteration time model.
+
+One iteration = forward/backward compute (with the pipeline bubble),
+TP AllReduces on NVLink, PP Send/Recv at stage boundaries, and the DP
+gradient synchronization. Only the last two touch the Ethernet fabric;
+DP dominates (Table 3) and is simulated as *all DP groups reducing
+concurrently* -- the flow pattern that exposes ECMP collisions and
+drives every end-to-end figure (15, 16, 18).
+
+Gradient AllReduce overlaps with backward compute; only the excess
+beyond ``overlap * t_backward`` extends the iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..collective.comm import Communicator
+from ..collective.model import ring_allreduce_edge_bytes
+from ..core.units import gbps_to_bytes_per_sec
+from ..fabric.simulator import FluidSimulator
+from .models import GpuSpec, H800, LlmConfig, compute_seconds_per_sample
+from .parallelism import Placement
+from .traffic import iteration_traffic
+
+
+@dataclass
+class IterationBreakdown:
+    """Where one iteration's time goes."""
+
+    compute_seconds: float
+    tp_seconds: float
+    pp_seconds: float
+    dp_seconds: float          # raw DP AllReduce time on the fabric
+    dp_exposed_seconds: float  # the part not hidden behind backward
+    global_batch: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compute_seconds
+            + self.tp_seconds
+            + self.pp_seconds
+            + self.dp_exposed_seconds
+        )
+
+    @property
+    def samples_per_sec(self) -> float:
+        return self.global_batch / self.total_seconds
+
+
+def dp_sync_flows(comm: Communicator, placement: Placement, dp_bytes: float):
+    """Flows of all DP groups synchronizing gradients concurrently."""
+    flows = []
+    for gidx, (rail, hosts) in enumerate(placement.dp_group_hosts()):
+        if len(hosts) < 2:
+            continue  # group is intra-host: NVLink, not the fabric
+        per_edge = ring_allreduce_edge_bytes(dp_bytes, len(hosts))
+        flows.extend(
+            comm.ring_flows(rail, per_edge, tag=f"dp-sync/g{gidx}", hosts=hosts)
+        )
+    return flows
+
+
+def simulate_iteration(
+    comm: Communicator,
+    placement: Placement,
+    config: LlmConfig,
+    gpu: GpuSpec = H800,
+    micro_batch: int = 1,
+    microbatches: Optional[int] = None,
+    overlap: float = 0.3,
+) -> IterationBreakdown:
+    """Simulate one training iteration end to end.
+
+    ``comm`` must span all of ``placement.hosts`` on the target
+    topology. ``overlap`` is the fraction of backward compute the DP
+    AllReduce can hide behind.
+    """
+    plan = placement.plan
+    m = microbatches if microbatches is not None else max(plan.pp * 2, 4)
+    global_batch = plan.dp * micro_batch * m
+    traffic = iteration_traffic(config, plan, micro_batch, m)
+
+    # compute with pipeline bubble (1F1B schedule: bubble = (pp-1)/m)
+    base = global_batch * compute_seconds_per_sample(config, gpu, plan.world_size)
+    bubble = (plan.pp - 1) / m if m else 0.0
+    compute = base * (1.0 + bubble)
+
+    # TP on NVLink: NVLS-assisted AllReduce rate per GPU
+    tp = 0.0
+    if plan.tp > 1:
+        tp = traffic.tp_bytes / gbps_to_bytes_per_sec(
+            comm.profile.nvls_allreduce_gbps
+        )
+
+    # PP: all stage-boundary exchanges concurrently, all microbatches
+    pp_seconds = 0.0
+    pairs = placement.pp_boundary_host_pairs()
+    if pairs and traffic.pp_bytes_total > 0:
+        flows = []
+        for src, dst in pairs:
+            flows.extend(
+                comm.edge_flows(src, dst, 0, traffic.pp_bytes_total, tag="pp")
+            )
+        sim = FluidSimulator(comm.topo)
+        sim.add_flows(flows)
+        pp_seconds = sim.run().finish_time
+
+    # DP: all groups concurrently (the heavyweight pattern)
+    dp_seconds = 0.0
+    flows = dp_sync_flows(comm, placement, traffic.dp_bytes)
+    if flows:
+        sim = FluidSimulator(comm.topo)
+        sim.add_flows(flows)
+        dp_seconds = sim.run().finish_time
+
+    backward = compute * 2.0 / 3.0
+    dp_exposed = max(0.0, dp_seconds - overlap * backward)
+    return IterationBreakdown(
+        compute_seconds=compute,
+        tp_seconds=tp,
+        pp_seconds=pp_seconds,
+        dp_seconds=dp_seconds,
+        dp_exposed_seconds=dp_exposed,
+        global_batch=global_batch,
+    )

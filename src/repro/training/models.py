@@ -1,0 +1,72 @@
+"""LLM model configurations and FLOPs accounting.
+
+The three models the paper evaluates (Figure 16) plus the GPT-3 175B
+variant used for Table 3 and the production run in Figure 15. FLOPs
+use the standard ``6 * params * tokens`` estimate for forward+backward;
+compute time divides by per-GPU sustained throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.units import GB
+
+
+@dataclass(frozen=True)
+class LlmConfig:
+    """Transformer decoder configuration."""
+
+    name: str
+    params: float           # total parameter count
+    layers: int
+    hidden: int
+    seq_len: int = 2048
+    vocab: int = 51200
+    bytes_per_param: int = 2  # bf16
+
+    @property
+    def param_bytes(self) -> float:
+        return self.params * self.bytes_per_param
+
+    def flops_per_token(self) -> float:
+        """Forward+backward FLOPs per trained token (6N rule)."""
+        return 6.0 * self.params
+
+    def flops_per_sample(self) -> float:
+        return self.flops_per_token() * self.seq_len
+
+    def activation_bytes_per_token(self) -> float:
+        """Hidden-state bytes per token (what PP ships per boundary)."""
+        return self.hidden * self.bytes_per_param
+
+
+GPT3_175B = LlmConfig(name="GPT3-175B", params=175e9, layers=96, hidden=12288)
+LLAMA_7B = LlmConfig(name="LLaMa-7B", params=7e9, layers=32, hidden=4096)
+LLAMA_13B = LlmConfig(name="LLaMa-13B", params=13e9, hidden=5120, layers=40)
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Per-GPU compute capability."""
+
+    name: str = "H800"
+    peak_flops: float = 990e12          # bf16 tensor core peak
+    efficiency: float = 0.42            # sustained MFU in large training
+    hbm_bytes: float = 80 * GB
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.peak_flops * self.efficiency
+
+
+H800 = GpuSpec()
+
+
+def compute_seconds_per_sample(
+    config: LlmConfig, gpu: GpuSpec, world_size: int
+) -> float:
+    """Pure-compute seconds one sample costs the whole cluster."""
+    if world_size < 1:
+        raise ValueError("world_size must be positive")
+    return config.flops_per_sample() / (gpu.sustained_flops * world_size)

@@ -1,0 +1,89 @@
+"""Mixture-of-Experts training traffic (paper section 10 discussion).
+
+MoE layers route tokens to experts with all-to-all exchanges whose
+source and destination GPUs inherently live on different rails -- the
+pattern that breaks the rail-only tier-2 assumption and justified
+HPN's any-to-any aggregation layer.
+
+The model adds expert-parallel all-to-all volumes to the dense
+iteration model and exposes the comparison the paper's discussion
+implies: the same MoE job on an any-to-any fabric vs a rail-only one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collective.alltoall import all_to_all
+from ..collective.comm import Communicator
+from .models import LlmConfig
+
+
+@dataclass(frozen=True)
+class MoeConfig:
+    """Expert-parallel extension of a dense model."""
+
+    base: LlmConfig
+    num_experts: int = 64
+    top_k: int = 2
+    #: fraction of layers that are MoE layers
+    moe_layer_fraction: float = 0.5
+    capacity_factor: float = 1.25
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}-MoE{self.num_experts}"
+
+    def alltoall_bytes_per_layer(self, tokens: int) -> float:
+        """Bytes each rank exchanges per MoE layer (dispatch + combine).
+
+        Each token's hidden state travels to its top-k experts and
+        back: ``2 * top_k * capacity * tokens * hidden * 2B``.
+        """
+        hidden_bytes = self.base.hidden * self.base.bytes_per_param
+        return 2.0 * self.top_k * self.capacity_factor * tokens * hidden_bytes
+
+    def moe_layers(self) -> int:
+        return max(1, int(self.base.layers * self.moe_layer_fraction))
+
+
+@dataclass
+class MoeIterationComm:
+    """Simulated expert-parallel communication of one iteration."""
+
+    alltoall_seconds: float
+    relay_seconds: float
+    layers: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.alltoall_seconds + self.relay_seconds
+
+
+def simulate_moe_exchange(
+    comm: Communicator,
+    config: MoeConfig,
+    tokens_per_rank: int = 2048,
+) -> MoeIterationComm:
+    """Run one iteration's worth of MoE all-to-all on the fabric.
+
+    The per-layer exchange is simulated once and scaled by the MoE
+    layer count (layers are sequential, so times add).
+    """
+    per_layer = config.alltoall_bytes_per_layer(tokens_per_rank)
+    result = all_to_all(comm, per_layer)
+    layers = config.moe_layers()
+    return MoeIterationComm(
+        alltoall_seconds=result.network_seconds * layers,
+        relay_seconds=result.relay_seconds * layers,
+        layers=layers,
+    )
+
+
+def rail_only_penalty(
+    any_to_any: MoeIterationComm, rail_only: MoeIterationComm
+) -> float:
+    """Fractional slowdown of the rail-only fabric on MoE traffic."""
+    if any_to_any.total_seconds <= 0:
+        return 0.0
+    return rail_only.total_seconds / any_to_any.total_seconds - 1.0

@@ -1,0 +1,170 @@
+"""Parallelism plans: TP x PP x DP group construction and placement.
+
+Megatron-style 3D parallelism on 8-GPU hosts:
+
+* **TP** groups live inside one host (tp <= 8), riding NVLink;
+* **PP** stages follow consecutive host blocks (and are the traffic the
+  paper schedules across pods, section 7);
+* **DP** replicas of the same (tp rank, pp stage) GPU sit on different
+  hosts at the *same local GPU index* -- i.e. the same rail -- which is
+  what makes gradient synchronization a per-rail Multi-AllReduce.
+
+Rank layout (tp fastest, then pp, then dp)::
+
+    global_rank = dp_idx * (pp * tp) + pp_idx * tp + tp_idx
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..core.errors import PlacementError
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """A (tp, pp, dp) decomposition."""
+
+    tp: int = 8
+    pp: int = 8
+    dp: int = 4
+    gpus_per_host: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.tp, self.pp, self.dp) < 1:
+            raise PlacementError("tp/pp/dp must all be >= 1")
+        if self.tp > self.gpus_per_host:
+            raise PlacementError(
+                f"tp={self.tp} exceeds {self.gpus_per_host} GPUs per host "
+                "(TP must stay on NVLink)"
+            )
+        if self.gpus_per_host % self.tp:
+            raise PlacementError("tp must divide gpus_per_host")
+
+    @property
+    def world_size(self) -> int:
+        return self.tp * self.pp * self.dp
+
+    @property
+    def num_hosts(self) -> int:
+        if self.world_size % self.gpus_per_host:
+            raise PlacementError(
+                f"world size {self.world_size} not a multiple of "
+                f"{self.gpus_per_host} GPUs per host"
+            )
+        return self.world_size // self.gpus_per_host
+
+
+@dataclass(frozen=True)
+class GpuSlot:
+    """Physical placement of one rank."""
+
+    host: str
+    gpu: int  # local index == rail
+
+
+@dataclass
+class Placement:
+    """Ranks mapped to GPU slots, with all communication groups."""
+
+    plan: ParallelismPlan
+    hosts: List[str]
+    slots: List[GpuSlot] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        need = self.plan.num_hosts
+        if len(self.hosts) != need:
+            raise PlacementError(
+                f"plan needs {need} hosts, got {len(self.hosts)}"
+            )
+        if not self.slots:
+            g = self.plan.gpus_per_host
+            self.slots = [
+                GpuSlot(self.hosts[r // g], r % g)
+                for r in range(self.plan.world_size)
+            ]
+
+    # ------------------------------------------------------------------
+    def rank_coords(self, rank: int) -> Tuple[int, int, int]:
+        """(dp_idx, pp_idx, tp_idx) of a global rank."""
+        tp, pp = self.plan.tp, self.plan.pp
+        tp_idx = rank % tp
+        pp_idx = (rank // tp) % pp
+        dp_idx = rank // (tp * pp)
+        return dp_idx, pp_idx, tp_idx
+
+    def rank_of(self, dp_idx: int, pp_idx: int, tp_idx: int) -> int:
+        tp, pp = self.plan.tp, self.plan.pp
+        return dp_idx * (pp * tp) + pp_idx * tp + tp_idx
+
+    def slot(self, rank: int) -> GpuSlot:
+        return self.slots[rank]
+
+    # ------------------------------------------------------------------
+    def tp_groups(self) -> List[List[int]]:
+        """Ranks sharing one TP group (all co-resident on one host)."""
+        groups = []
+        for dp_idx in range(self.plan.dp):
+            for pp_idx in range(self.plan.pp):
+                groups.append(
+                    [self.rank_of(dp_idx, pp_idx, t) for t in range(self.plan.tp)]
+                )
+        return groups
+
+    def pp_groups(self) -> List[List[int]]:
+        """Ranks forming one pipeline (fixed dp_idx, tp_idx)."""
+        groups = []
+        for dp_idx in range(self.plan.dp):
+            for tp_idx in range(self.plan.tp):
+                groups.append(
+                    [self.rank_of(dp_idx, p, tp_idx) for p in range(self.plan.pp)]
+                )
+        return groups
+
+    def dp_groups(self) -> List[List[int]]:
+        """Ranks sharing one DP group (fixed pp_idx, tp_idx)."""
+        groups = []
+        for pp_idx in range(self.plan.pp):
+            for tp_idx in range(self.plan.tp):
+                groups.append(
+                    [self.rank_of(d, pp_idx, tp_idx) for d in range(self.plan.dp)]
+                )
+        return groups
+
+    # ------------------------------------------------------------------
+    def dp_group_hosts(self) -> List[Tuple[int, List[str]]]:
+        """Per DP group: (rail carrying it, ordered distinct member hosts).
+
+        Each member of a DP group sits on local GPU ``tp_idx % 8`` of its
+        host, so the group's gradient ring rides that rail.
+        """
+        out = []
+        for group in self.dp_groups():
+            hosts: List[str] = []
+            for rank in group:
+                h = self.slots[rank].host
+                if h not in hosts:
+                    hosts.append(h)
+            rail = self.slots[group[0]].gpu
+            out.append((rail, hosts))
+        return out
+
+    def pp_boundary_host_pairs(self) -> List[Tuple[str, str]]:
+        """Distinct (sender, receiver) host pairs across stage boundaries."""
+        pairs: List[Tuple[str, str]] = []
+        seen = set()
+        for group in self.pp_groups():
+            for a, b in zip(group, group[1:]):
+                ha, hb = self.slots[a].host, self.slots[b].host
+                if ha != hb and (ha, hb) not in seen:
+                    seen.add((ha, hb))
+                    pairs.append((ha, hb))
+        return pairs
+
+    def tp_groups_intra_host(self) -> bool:
+        """Whether every TP group is fully contained in one host."""
+        for group in self.tp_groups():
+            if len({self.slots[r].host for r in group}) != 1:
+                return False
+        return True

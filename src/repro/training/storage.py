@@ -1,0 +1,128 @@
+"""Storage-cluster placement analysis (paper sections 8 and 10).
+
+The paper weighs putting the CPFS/OSS storage cluster in the backend
+(3.2 Tbps per host, attractive for checkpoints) against the frontend
+(400 Gbps, but isolated from training) and chooses the frontend for
+three reasons, all modeled here:
+
+1. external data (datasets, images) cannot reach the backend without a
+   proxy -- an extra component and stability risk;
+2. storage bursts in the backend perturb training collectives;
+3. backend storage hosts consume ToR ports that would otherwise serve
+   GPUs.
+
+:func:`checkpoint_write_time` answers how long a checkpoint burst takes
+through each network; :func:`training_perturbation` quantifies reason 2
+by co-scheduling a checkpoint flow with a gradient ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..collective.comm import Communicator
+from ..collective.model import ring_allreduce_edge_bytes
+from ..core.units import gbps_to_bytes_per_sec
+from ..fabric.simulator import FluidSimulator
+from .checkpoint import CheckpointSpec
+
+
+@dataclass(frozen=True)
+class StoragePlacement:
+    """One placement option's first-order characteristics."""
+
+    name: str
+    host_bandwidth_gbps: float
+    needs_external_proxy: bool
+    perturbs_training: bool
+    tor_ports_consumed_per_host: int
+
+
+BACKEND_PLACEMENT = StoragePlacement(
+    name="backend",
+    host_bandwidth_gbps=3200.0,
+    needs_external_proxy=True,
+    perturbs_training=True,
+    tor_ports_consumed_per_host=16,
+)
+
+FRONTEND_PLACEMENT = StoragePlacement(
+    name="frontend",
+    host_bandwidth_gbps=400.0,
+    needs_external_proxy=False,
+    perturbs_training=False,
+    tor_ports_consumed_per_host=0,  # frontend ports exist anyway
+)
+
+
+def checkpoint_write_time(
+    placement: StoragePlacement,
+    spec: CheckpointSpec,
+    gpus_per_host: int = 8,
+    storage_efficiency: float = 0.6,
+) -> float:
+    """Seconds to push one host's checkpoint shard to storage."""
+    shard = spec.bytes_per_gpu * gpus_per_host
+    rate = gbps_to_bytes_per_sec(placement.host_bandwidth_gbps) * storage_efficiency
+    return shard / rate
+
+
+def training_perturbation(
+    comm: Communicator,
+    grad_bytes: float,
+    checkpoint_bytes_per_host: float,
+    storage_rail: int = 0,
+) -> float:
+    """Fractional slowdown of a gradient ring when checkpoint traffic
+    shares the backend network (reason 2 for the frontend choice).
+
+    Simulates the per-rail gradient rings alone, then again with every
+    host simultaneously streaming its checkpoint shard to a storage
+    target on ``storage_rail``'s network.
+    """
+    hosts = comm.hosts
+    per_edge = ring_allreduce_edge_bytes(grad_bytes, len(hosts))
+    baseline_flows = comm.all_rails_ring_flows(per_edge, tag="grad")
+    sim = FluidSimulator(comm.topo)
+    sim.add_flows(baseline_flows)
+    baseline = sim.run().finish_time
+
+    for f in baseline_flows:
+        f.reset()
+    mixed = list(baseline_flows)
+    # checkpoint streams: host i -> host (i + len/2) standing in for a
+    # backend-resident storage node
+    half = max(1, len(hosts) // 2)
+    for i, src in enumerate(hosts):
+        dst = hosts[(i + half) % len(hosts)]
+        if dst == src:
+            continue
+        mixed.extend(
+            comm.edge_flows(
+                src, dst, storage_rail, checkpoint_bytes_per_host,
+                tag=f"ckpt/{i}",
+            )
+        )
+    sim = FluidSimulator(comm.topo)
+    sim.add_flows(mixed)
+    grad_ids = {f.flow_id for f in baseline_flows}
+    result = sim.run()
+    perturbed = max(result.flow_finish[fid] for fid in grad_ids)
+    return perturbed / baseline - 1.0
+
+
+def placement_report(spec: CheckpointSpec = CheckpointSpec()) -> List[dict]:
+    """The section-10 decision table as data."""
+    rows = []
+    for placement in (BACKEND_PLACEMENT, FRONTEND_PLACEMENT):
+        rows.append(
+            {
+                "placement": placement.name,
+                "checkpoint_write_seconds": checkpoint_write_time(placement, spec),
+                "needs_external_proxy": placement.needs_external_proxy,
+                "perturbs_training": placement.perturbs_training,
+                "tor_ports_per_storage_host": placement.tor_ports_consumed_per_host,
+            }
+        )
+    return rows

@@ -1,0 +1,78 @@
+"""Per-parallelism traffic volumes (paper Table 3).
+
+Derivations, using GPT-3 175B with TP=8, PP=8, DP=512 as the paper
+does:
+
+* **DP** -- each GPU owns ``params / (tp * pp)`` parameters; gradients
+  are synchronized in bf16: ``175e9 / 64 * 2 B = 5.5 GB`` per iteration
+  per DP-group member, via (Multi-)AllReduce.
+* **TP** -- each transformer layer AllReduces activations twice in
+  forward and twice in backward across the TP group; with sequence
+  sharding the per-operation payload is ``seq * mbs * hidden * 2 B``.
+  For 12 layers per stage this lands at roughly 560 MB per iteration,
+  via AllReduce/AllGather over NVLink.
+* **PP** -- each microbatch boundary ships the TP-sharded activation,
+  ``seq * mbs * hidden * 2 / tp`` bytes -- about 6 MB -- via Send/Recv.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .models import LlmConfig
+from .parallelism import ParallelismPlan
+
+
+@dataclass(frozen=True)
+class IterationTraffic:
+    """Bytes each parallelism dimension moves per iteration (per rank)."""
+
+    dp_bytes: float
+    tp_bytes: float
+    pp_bytes_per_boundary: float
+    microbatches: int
+
+    @property
+    def pp_bytes_total(self) -> float:
+        """Per pipeline boundary per iteration (all microbatches)."""
+        return self.pp_bytes_per_boundary * self.microbatches
+
+
+def dp_gradient_bytes(config: LlmConfig, plan: ParallelismPlan) -> float:
+    """Gradient bytes one DP-group member synchronizes per iteration."""
+    shards = plan.tp * plan.pp
+    return config.param_bytes / shards
+
+
+def tp_activation_bytes(
+    config: LlmConfig, plan: ParallelismPlan, micro_batch: int = 1,
+    allreduces_per_layer: int = 4,
+) -> float:
+    """Activation bytes TP moves per iteration within one host."""
+    layers_per_stage = max(1, config.layers // plan.pp)
+    per_op = config.seq_len * micro_batch * config.hidden * config.bytes_per_param
+    # ring factor 2(n-1)/n ~= 2 folded into allreduces_per_layer estimate
+    return layers_per_stage * allreduces_per_layer * per_op / 4.0
+
+
+def pp_boundary_bytes(
+    config: LlmConfig, plan: ParallelismPlan, micro_batch: int = 1
+) -> float:
+    """Bytes one microbatch ships across one pipeline boundary."""
+    act = config.seq_len * micro_batch * config.hidden * config.bytes_per_param
+    return act / plan.tp  # activations are TP/sequence sharded
+
+
+def iteration_traffic(
+    config: LlmConfig,
+    plan: ParallelismPlan,
+    micro_batch: int = 1,
+    microbatches: int = 8,
+) -> IterationTraffic:
+    """Table 3's three rows for a given model and plan."""
+    return IterationTraffic(
+        dp_bytes=dp_gradient_bytes(config, plan),
+        tp_bytes=tp_activation_bytes(config, plan, micro_batch),
+        pp_bytes_per_boundary=pp_boundary_bytes(config, plan, micro_batch),
+        microbatches=microbatches,
+    )

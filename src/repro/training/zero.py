@@ -1,0 +1,99 @@
+"""ZeRO-style sharded data parallelism (DeepSpeed, paper section 2.1).
+
+ZeRO changes *what* DP moves per iteration:
+
+* stage 1/2 -- gradients are Reduce-Scattered (each member owns 1/dp of
+  them) and updated parameters All-Gathered back: the same total bytes
+  as AllReduce but in two half-volume phases, each pipelinable;
+* stage 3 -- parameters are also sharded; every forward/backward
+  additionally All-Gathers the parameter shards layer by layer,
+  trading memory for sustained network traffic *during* compute.
+
+The model extends Table 3's accounting and simulates the phases on the
+fabric, so the HPN-vs-DCN+ comparison can be rerun under a ZeRO
+workload (an extension the paper does not evaluate but its framework
+mentions).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..collective.comm import Communicator
+from ..collective.model import ring_allgather_edge_bytes
+from ..fabric.simulator import FluidSimulator
+from .models import LlmConfig
+from .parallelism import ParallelismPlan, Placement
+
+
+class ZeroStage(enum.Enum):
+    NONE = 0     # plain AllReduce DP (Megatron default)
+    STAGE_1 = 1  # optimizer-state sharding: RS + AG of gradients/params
+    STAGE_3 = 3  # parameter sharding: + per-layer parameter AllGather
+
+
+@dataclass(frozen=True)
+class ZeroTraffic:
+    """Per-iteration DP bytes per rank under a ZeRO stage."""
+
+    reduce_scatter_bytes: float
+    allgather_bytes: float
+    param_gather_bytes: float  # stage 3 only, overlappable with compute
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.reduce_scatter_bytes
+            + self.allgather_bytes
+            + self.param_gather_bytes
+        )
+
+
+def zero_traffic(
+    config: LlmConfig, plan: ParallelismPlan, stage: ZeroStage
+) -> ZeroTraffic:
+    """DP bytes each rank moves per iteration under ``stage``."""
+    shard = config.param_bytes / (plan.tp * plan.pp)
+    if stage is ZeroStage.NONE:
+        # plain AllReduce: accounted as RS+AG halves for uniformity
+        return ZeroTraffic(shard, shard, 0.0)
+    if stage is ZeroStage.STAGE_1:
+        return ZeroTraffic(shard, shard, 0.0)
+    # stage 3: parameters are re-gathered for forward and backward
+    return ZeroTraffic(shard, shard, 2.0 * shard)
+
+
+def simulate_zero_sync(
+    comm: Communicator,
+    placement: Placement,
+    config: LlmConfig,
+    stage: ZeroStage = ZeroStage.STAGE_1,
+) -> float:
+    """Seconds of exposed DP synchronization under ZeRO.
+
+    RS and AG phases run back to back across all DP groups
+    concurrently; stage 3's parameter gathers are overlapped with
+    compute and excluded here (they raise *sustained* utilization
+    instead, which is what Figure 2's bursts become under ZeRO-3).
+    """
+    traffic = zero_traffic(config, placement.plan, stage)
+    total = 0.0
+    for phase_bytes, tag in (
+        (traffic.reduce_scatter_bytes, "zero-rs"),
+        (traffic.allgather_bytes, "zero-ag"),
+    ):
+        flows = []
+        for gidx, (rail, hosts) in enumerate(placement.dp_group_hosts()):
+            if len(hosts) < 2:
+                continue
+            per_edge = ring_allgather_edge_bytes(phase_bytes, len(hosts))
+            flows.extend(
+                comm.ring_flows(rail, per_edge, tag=f"{tag}/g{gidx}", hosts=hosts)
+            )
+        if not flows:
+            continue
+        sim = FluidSimulator(comm.topo)
+        sim.add_flows(flows)
+        total += sim.run().finish_time
+    return total

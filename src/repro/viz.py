@@ -1,0 +1,117 @@
+"""Plain-text visualization of topologies, paths and link loads.
+
+Terminal-friendly renderings for debugging and teaching: no plotting
+dependency, just aligned ASCII. Used by the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from .core.entities import SwitchRole
+from .core.topology import Topology
+from .fabric.flow import Flow
+from .fabric.telemetry import dirlink_loads
+from .routing.path import FlowPath
+
+
+def render_summary(topo: Topology) -> str:
+    """One-paragraph inventory."""
+    s = topo.summary()
+    lines = [
+        f"topology {s['name']!r} ({topo.meta.get('architecture', '?')})",
+        f"  hosts: {s['hosts']} ({s['active_hosts']} active, "
+        f"{s['gpus']} GPUs)",
+        f"  switches: "
+        + ", ".join(f"{count} {role}" for role, count in s["switches"].items()),
+        f"  links: {s['links']}",
+    ]
+    return "\n".join(lines)
+
+
+def render_tiers(topo: Topology, max_items: int = 8) -> str:
+    """Tier-by-tier switch listing, elided for big fabrics."""
+    by_tier: Dict[int, List[str]] = defaultdict(list)
+    for sw in topo.switches.values():
+        by_tier[sw.tier].append(sw.name)
+    lines = []
+    for tier in sorted(by_tier, reverse=True):
+        names = sorted(by_tier[tier])
+        shown = names[:max_items]
+        extra = f" ... (+{len(names) - max_items})" if len(names) > max_items else ""
+        label = {1: "tier1/ToR", 2: "tier2/Agg", 3: "tier3/Core"}.get(tier, f"tier{tier}")
+        lines.append(f"{label:>10}: " + "  ".join(shown) + extra)
+    hosts = sorted(topo.hosts)[:max_items]
+    extra = (
+        f" ... (+{len(topo.hosts) - max_items})" if len(topo.hosts) > max_items else ""
+    )
+    lines.append(f"{'hosts':>10}: " + "  ".join(hosts) + extra)
+    return "\n".join(lines)
+
+
+def render_path(path: FlowPath) -> str:
+    """``host -(plane0)-> tor -> agg -> tor -> host`` style arrow line."""
+    plane = f" [plane {path.plane}]" if path.plane is not None else ""
+    return " -> ".join(path.nodes) + plane
+
+
+def render_loads(
+    topo: Topology,
+    flows: Iterable[Flow],
+    node: str,
+    width: int = 40,
+) -> str:
+    """Horizontal bar chart of one node's per-port egress load."""
+    loads = dirlink_loads(flows)
+    rows = []
+    for port in topo.ports[node]:
+        if port.link_id is None:
+            continue
+        link = topo.links[port.link_id]
+        direction = 0 if link.a.node == node else 1
+        gbps = loads.get(link.link_id * 2 + direction, 0.0)
+        frac = min(1.0, gbps / link.gbps) if link.gbps else 0.0
+        bar = "#" * int(round(frac * width))
+        peer = link.other(node).node
+        rows.append(
+            f"  port {port.ref.index:>3} -> {peer:<28} "
+            f"|{bar:<{width}}| {gbps:7.1f}/{link.gbps:.0f} Gbps"
+        )
+    header = f"egress load at {node}:"
+    return "\n".join([header] + (rows or ["  (no wired ports)"]))
+
+
+def render_plane_usage(topo: Topology, flows: Iterable[Flow]) -> str:
+    """Traffic split between planes (dual-plane fabrics)."""
+    loads = dirlink_loads(flows)
+    per_plane: Dict[Optional[int], float] = defaultdict(float)
+    for dl, gbps in loads.items():
+        link = topo.links[dl // 2]
+        for end in (link.a.node, link.b.node):
+            sw = topo.switches.get(end)
+            if sw is not None and sw.plane is not None:
+                per_plane[sw.plane] += gbps / 2
+                break
+    if not per_plane:
+        return "no plane-tagged traffic"
+    total = sum(per_plane.values())
+    lines = ["plane usage:"]
+    for plane in sorted(per_plane):
+        share = per_plane[plane] / total if total else 0.0
+        lines.append(f"  plane {plane}: {per_plane[plane]:9.1f} Gbps ({share:.0%})")
+    return "\n".join(lines)
+
+
+def render_oversubscription(topo: Topology) -> str:
+    """Per-role down:up capacity table."""
+    from .topos.validate import oversubscription_report
+
+    report = oversubscription_report(topo)
+    if not report:
+        return "no multi-tier structure"
+    lines = ["oversubscription (down:up):"]
+    for role in (SwitchRole.TOR.value, SwitchRole.AGG.value, SwitchRole.CORE.value):
+        if role in report:
+            lines.append(f"  {role:>5}: {report[role]:.3f}:1")
+    return "\n".join(lines)

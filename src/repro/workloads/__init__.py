@@ -1,0 +1,31 @@
+"""Synthetic workload generators calibrated to the paper's statistics."""
+
+from .cloud import (
+    CloudTrafficSample,
+    CloudTrafficSpec,
+    generate_cloud_day,
+    utilization_fraction,
+)
+from .jobs import DEFAULT_MIXTURE, JobSizeModel, cdf_points
+from .llm import (
+    BurstSpec,
+    burst_statistics,
+    connection_count_cdf,
+    connections_per_host,
+    generate_nic_series,
+)
+
+__all__ = [
+    "BurstSpec",
+    "CloudTrafficSample",
+    "CloudTrafficSpec",
+    "DEFAULT_MIXTURE",
+    "JobSizeModel",
+    "burst_statistics",
+    "cdf_points",
+    "connection_count_cdf",
+    "connections_per_host",
+    "generate_cloud_day",
+    "generate_nic_series",
+    "utilization_fraction",
+]

@@ -1,0 +1,68 @@
+"""Production job-size distribution (paper Figure 6).
+
+The paper reports that production training jobs request fewer than 3K
+GPUs each, with about 96.3% needing at most 1K -- the statistic that
+justifies sizing a segment at 1K GPUs. We model the GPU-count
+distribution as a discrete mixture over power-of-two-ish job sizes with
+a long tail, calibrated to those two anchor points.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: (gpus, weight) mixture calibrated to the paper's anchors
+DEFAULT_MIXTURE: Tuple[Tuple[int, float], ...] = (
+    (8, 0.18),
+    (16, 0.14),
+    (32, 0.14),
+    (64, 0.13),
+    (128, 0.13),
+    (256, 0.11),
+    (512, 0.08),
+    (1024, 0.053),
+    (1536, 0.013),
+    (2048, 0.012),
+    (2560, 0.008),
+    (3072, 0.004),
+)
+
+
+@dataclass(frozen=True)
+class JobSizeModel:
+    mixture: Tuple[Tuple[int, float], ...] = DEFAULT_MIXTURE
+
+    def __post_init__(self) -> None:
+        total = sum(w for _s, w in self.mixture)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"mixture weights sum to {total}, expected 1.0")
+
+    def sample(self, n: int, seed: int = 11) -> List[int]:
+        rng = random.Random(seed)
+        sizes = [s for s, _w in self.mixture]
+        cum = []
+        acc = 0.0
+        for _s, w in self.mixture:
+            acc += w
+            cum.append(acc)
+        return [sizes[bisect.bisect_left(cum, rng.random())] for _ in range(n)]
+
+    def fraction_at_most(self, gpus: int) -> float:
+        return sum(w for s, w in self.mixture if s <= gpus)
+
+    def max_gpus(self) -> int:
+        return max(s for s, _w in self.mixture)
+
+
+def cdf_points(samples: Sequence[int]) -> List[Tuple[int, float]]:
+    """Empirical CDF as (gpus, fraction <= gpus) points."""
+    xs = sorted(samples)
+    n = len(xs)
+    out = []
+    for i, x in enumerate(xs, start=1):
+        if i == n or xs[i] != x:
+            out.append((x, i / n))
+    return out

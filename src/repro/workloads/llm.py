@@ -1,0 +1,94 @@
+"""LLM-training traffic generator (paper Figures 2-3).
+
+Per-NIC egress during training is a square wave: the backward phase of
+every iteration saturates the NIC (bursts to the full 400 Gbps lasting
+seconds to tens of seconds) separated by compute-only quiet periods.
+Connection counts per host are tiny -- dozens to a few hundred -- so
+each flow carries enormous volume (the elephant-flow regime that breaks
+ECMP's many-flows assumption).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..training.parallelism import ParallelismPlan
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """Shape of the periodic gradient-sync burst."""
+
+    iteration_seconds: float = 15.0
+    burst_seconds: float = 5.0
+    nic_gbps: float = 400.0
+    idle_gbps: float = 2.0
+    jitter: float = 0.05
+
+
+def generate_nic_series(
+    spec: BurstSpec = BurstSpec(),
+    duration_seconds: float = 120.0,
+    dt: float = 0.5,
+    nic_index: int = 0,
+    seed: int = 7,
+) -> List[Dict[str, float]]:
+    """One NIC's egress series: (time, gbps) dicts over ``duration``."""
+    rng = random.Random(seed * 1009 + nic_index)
+    phase = rng.uniform(0, spec.jitter * spec.iteration_seconds)
+    out = []
+    t = 0.0
+    while t <= duration_seconds:
+        pos = (t + phase) % spec.iteration_seconds
+        in_burst = pos < spec.burst_seconds
+        rate = spec.nic_gbps if in_burst else spec.idle_gbps
+        rate *= 1.0 + rng.gauss(0, spec.jitter / 2)
+        out.append({"time": t, "gbps": max(0.0, min(spec.nic_gbps, rate))})
+        t += dt
+    return out
+
+
+def burst_statistics(series: List[Dict[str, float]],
+                     spec: BurstSpec = BurstSpec()) -> Dict[str, float]:
+    """Peak, duty cycle and burst duration of one series."""
+    if not series:
+        return {"peak_gbps": 0.0, "duty_cycle": 0.0}
+    rates = [s["gbps"] for s in series]
+    threshold = spec.nic_gbps * 0.8
+    busy = sum(1 for r in rates if r >= threshold)
+    return {
+        "peak_gbps": max(rates),
+        "duty_cycle": busy / len(rates),
+        "mean_gbps": sum(rates) / len(rates),
+    }
+
+
+def connections_per_host(
+    plan: ParallelismPlan,
+    conns_per_peer: int = 2,
+    nccl_channels: int = 4,
+) -> int:
+    """Approximate RDMA connection count of one training host.
+
+    Each of the 8 GPUs talks to its ring neighbours in the DP group
+    (2 peers) over ``conns_per_peer x nccl_channels`` connections, plus
+    the PP boundary peers on rail 0. Dozens to a few hundred total --
+    the regime of Figure 3.
+    """
+    per_gpu = 2 * conns_per_peer * nccl_channels if plan.dp > 1 else 0
+    pp_conns = 2 * conns_per_peer if plan.pp > 1 else 0
+    return plan.gpus_per_host * per_gpu + pp_conns
+
+
+def connection_count_cdf(
+    plans: List[ParallelismPlan], seed: int = 3
+) -> List[int]:
+    """Connection counts over a population of jobs (Figure 3's CDF)."""
+    rng = random.Random(seed)
+    counts = []
+    for plan in plans:
+        base = connections_per_host(plan)
+        counts.append(max(1, int(base * rng.uniform(0.8, 1.3))))
+    return sorted(counts)

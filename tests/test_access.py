@@ -1,0 +1,269 @@
+"""Access layer: LACP bundling, stacked failure modes, ARP, BGP, bond."""
+
+import pytest
+
+from repro.access import (
+    Bond,
+    FailoverTimeline,
+    HostArpAnnouncer,
+    NonStackedDualTor,
+    SwitchLacpActor,
+    TorArpTable,
+    TorHealth,
+    configure_non_stacked_pair,
+    make_pair,
+    negotiate,
+    sys_id_from_mac,
+)
+from repro.core.addressing import VIRTUAL_ROUTER_MAC
+from repro.core.errors import AccessError
+from repro.routing import FiveTuple
+from repro.topos.hpn import dual_tor_pair
+
+
+class TestLacp:
+    def test_stock_firmware_cannot_bundle_two_switches(self):
+        a = SwitchLacpActor("t1", "02:aa:00:00:00:01")
+        b = SwitchLacpActor("t2", "02:bb:00:00:00:02")
+        nego = negotiate(3, 3, a, b)
+        assert not nego.aggregated
+        assert "different system IDs" in nego.failure_reason()
+
+    def test_customized_pair_bundles(self):
+        a = SwitchLacpActor("t1", "02:aa:00:00:00:01")
+        b = SwitchLacpActor("t2", "02:bb:00:00:00:02")
+        configure_non_stacked_pair(a, b)
+        nego = negotiate(3, 3, a, b)
+        assert nego.aggregated
+        assert nego.failure_reason() is None
+
+    def test_shared_sysid_is_virtual_router_mac(self):
+        a = SwitchLacpActor("t1", "02:aa:00:00:00:01")
+        b = SwitchLacpActor("t2", "02:bb:00:00:00:02")
+        configure_non_stacked_pair(a, b)
+        pa, pb = a.respond(3), b.respond(3)
+        assert pa.sys_id == pb.sys_id == sys_id_from_mac(VIRTUAL_ROUTER_MAC)
+
+    def test_port_id_offsets_avoid_collisions(self):
+        """Same physical port on both switches must yield distinct IDs."""
+        a = SwitchLacpActor("t1", "02:aa:00:00:00:01")
+        b = SwitchLacpActor("t2", "02:bb:00:00:00:02")
+        configure_non_stacked_pair(a, b)
+        for port in (0, 100, 255):
+            assert a.respond(port).port_id != b.respond(port).port_id
+            assert a.respond(port).port_id > 256
+
+    def test_offset_must_exceed_physical_port_range(self):
+        with pytest.raises(AccessError):
+            SwitchLacpActor("t", "02:aa:00:00:00:01", portid_offset=100)
+
+    def test_same_offsets_rejected(self):
+        a = SwitchLacpActor("t1", "02:aa:00:00:00:01")
+        b = SwitchLacpActor("t2", "02:bb:00:00:00:02")
+        with pytest.raises(AccessError):
+            configure_non_stacked_pair(a, b, offset_a=300, offset_b=300)
+
+    def test_physical_port_out_of_range(self):
+        a = SwitchLacpActor("t1", "02:aa:00:00:00:01")
+        with pytest.raises(AccessError):
+            a.respond(256)
+
+    def test_missing_second_pdu_fails(self):
+        from repro.access import HostBondNegotiation, Lacpdu
+
+        nego = HostBondNegotiation()
+        nego.offer(Lacpdu(sys_id=1, port_id=300))
+        assert not nego.aggregated
+        assert "fewer than two" in nego.failure_reason()
+
+
+class TestStackedPair:
+    def test_silent_data_plane_failure_kills_the_rack(self):
+        """Paper 4.1: MMU overflow scenario -> both ToRs stop forwarding."""
+        pair = make_pair()
+        pair.silent_data_plane_failure()
+        assert pair.primary.health is TorHealth.DATA_PLANE_DOWN
+        assert pair.secondary.health is TorHealth.SELF_ISOLATED
+        assert not pair.rack_has_connectivity
+        assert pair.outcome() == "rack-offline"
+
+    def test_incompatible_upgrade_degrades(self):
+        pair = make_pair()
+        pair.upgrade("tor1", "v2")
+        assert not pair.sync_healthy()
+        assert pair.secondary.health is TorHealth.SELF_ISOLATED
+
+    def test_issu_compatible_versions_keep_sync(self):
+        pair = make_pair()
+        pair.secondary.issu_compatible_with = ("v2",)
+        pair.upgrade("tor1", "v2")
+        assert pair.sync_healthy()
+        assert pair.outcome() == "healthy"
+
+    def test_stack_link_failure(self):
+        pair = make_pair()
+        pair.stack_link_failure()
+        assert pair.secondary.health is TorHealth.SELF_ISOLATED
+        # primary still forwards: degraded, not offline
+        assert pair.outcome() == "degraded"
+
+    def test_events_are_logged(self):
+        pair = make_pair()
+        pair.silent_data_plane_failure()
+        assert len(pair.events) >= 2
+
+
+class TestArp:
+    def test_proxy_answers_with_switch_mac(self):
+        table = TorArpTable("t1", switch_mac="02:aa:00:00:00:01")
+        table.learn("10.0.0.1", "02:01:02:03:04:05", port=7)
+        assert table.resolve("10.0.0.1") == "02:aa:00:00:00:01"
+        assert table.resolve("10.9.9.9") == "02:aa:00:00:00:01"
+
+    def test_without_proxy_falls_back_to_entries(self):
+        table = TorArpTable("t1", "02:aa:00:00:00:01", proxy_enabled=False)
+        table.learn("10.0.0.1", "02:01:02:03:04:05", port=7)
+        assert table.resolve("10.0.0.1") == "02:01:02:03:04:05"
+        assert table.resolve("10.9.9.9") is None
+
+    def test_withdraw_port_removes_entries(self):
+        table = TorArpTable("t1", "02:aa:00:00:00:01")
+        table.learn("10.0.0.1", "m1", port=7)
+        table.learn("10.0.0.2", "m2", port=8)
+        gone = table.withdraw_port(7)
+        assert gone == {"10.0.0.1"}
+        assert "10.0.0.2" in table.entries
+
+    def test_host_announces_to_both_tors(self):
+        a = TorArpTable("t1", "02:aa:00:00:00:01")
+        b = TorArpTable("t2", "02:bb:00:00:00:02")
+        HostArpAnnouncer("10.0.0.1", "02:01:02:03:04:05").announce((a, b), (3, 3))
+        assert "10.0.0.1" in a.entries
+        assert "10.0.0.1" in b.entries
+
+    def test_announce_arity_checked(self):
+        a = TorArpTable("t1", "02:aa:00:00:00:01")
+        with pytest.raises(ValueError):
+            HostArpAnnouncer("10.0.0.1", "m").announce((a,), (1, 2))
+
+
+class TestBgpTimeline:
+    def test_blackhole_window(self, hpn_mutable):
+        tl = FailoverTimeline(hpn_mutable, detect_delay=0.05, convergence_delay=0.5)
+        done = tl.fail_access_link(0, now=10.0)
+        assert done == pytest.approx(10.55)
+        assert tl.leg_attracts_traffic(0, 10.2)       # still blackholed
+        assert not tl.leg_attracts_traffic(0, 10.6)   # withdrawn
+        assert not tl.converged(0, 10.2)
+        assert tl.converged(0, 10.6)
+
+    def test_recovery_readvertises(self, hpn_mutable):
+        tl = FailoverTimeline(hpn_mutable)
+        tl.fail_access_link(0, 0.0)
+        tl.recover_access_link(0, 60.0)
+        assert tl.leg_attracts_traffic(0, 61.0)
+
+    def test_advertising_tors_reflect_state(self, hpn_mutable):
+        tl = FailoverTimeline(hpn_mutable)
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        assert len(tl.advertising_tors(nic, 0.0)) == 2
+        link = hpn_mutable.port(nic.ports[0]).link_id
+        tl.fail_access_link(link, 0.0)
+        tors = tl.advertising_tors(nic, 1.0)
+        assert len(tors) == 1
+        assert hpn_mutable.switches[tors[0]].plane == 1
+
+
+class TestNonStacked:
+    def _setup(self, topo):
+        ta, tb = dual_tor_pair(topo, 0, 0, 0)
+        tl = FailoverTimeline(topo)
+        return NonStackedDualTor(topo, ta, tb, tl), ta, tb
+
+    def test_attach_learns_routes_on_both(self, hpn_mutable):
+        ds, ta, tb = self._setup(hpn_mutable)
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        nego = ds.attach(nic)
+        assert nego.aggregated
+        assert nic.ip in ds.host_routes(ta)
+        assert nic.ip in ds.host_routes(tb)
+
+    def test_attach_rejects_foreign_nic(self, hpn_mutable):
+        ds, _ta, _tb = self._setup(hpn_mutable)
+        foreign = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(5)
+        with pytest.raises(AccessError):
+            ds.attach(foreign)
+
+    def test_fail_leg_converges_to_survivor(self, hpn_mutable):
+        ds, ta, tb = self._setup(hpn_mutable)
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        ds.attach(nic)
+        done = ds.fail_leg(nic, ta, now=5.0)
+        assert done > 5.0
+        assert ds.surviving_tor(nic, done) == tb
+        assert nic.ip not in ds.host_routes(ta)
+        # underlying link actually down
+        port = hpn_mutable.port(nic.ports[0])
+        assert not hpn_mutable.links[port.link_id].up
+
+    def test_recover_leg_restores(self, hpn_mutable):
+        ds, ta, _tb = self._setup(hpn_mutable)
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        ds.attach(nic)
+        ds.fail_leg(nic, ta, now=5.0)
+        ds.recover_leg(nic, ta, now=100.0)
+        assert nic.ip in ds.host_routes(ta)
+        port = hpn_mutable.port(nic.ports[0])
+        assert hpn_mutable.links[port.link_id].up
+
+    def test_no_shared_fate(self, hpn_mutable):
+        """Killing one ToR leaves the sibling fully functional."""
+        ds, ta, tb = self._setup(hpn_mutable)
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        ds.attach(nic)
+        hpn_mutable.fail_node(ta)
+        assert hpn_mutable.switches[tb].up
+        assert ds.timeline.advertising_tors(nic, 0.0)  # tb still there
+
+
+class TestBond:
+    def test_select_spreads_by_hash(self, hpn_small):
+        nic = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        bond = Bond(hpn_small, nic)
+        picks = {
+            bond.select_port(FiveTuple(nic.ip, "10.0.8.1", s, 4791))
+            for s in range(49152, 49152 + 32)
+        }
+        assert picks == {0, 1}
+
+    def test_failover_to_survivor(self, hpn_mutable):
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        bond = Bond(hpn_mutable, nic)
+        link = hpn_mutable.port(nic.ports[0]).link_id
+        hpn_mutable.set_link_state(link, False)
+        bond.notice_failure(0, now=1.0)
+        for s in range(49152, 49152 + 16):
+            assert bond.select_port(FiveTuple(nic.ip, "10.0.8.1", s, 4791), now=2.0) == 1
+
+    def test_capacity_halves_on_failure(self, hpn_mutable):
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        bond = Bond(hpn_mutable, nic)
+        assert bond.capacity_gbps == 400.0
+        hpn_mutable.set_link_state(hpn_mutable.port(nic.ports[0]).link_id, False)
+        assert bond.capacity_gbps == 200.0
+
+    def test_all_members_down_raises(self, hpn_mutable):
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        bond = Bond(hpn_mutable, nic)
+        for pref in nic.ports:
+            hpn_mutable.set_link_state(hpn_mutable.port(pref).link_id, False)
+        with pytest.raises(AccessError):
+            bond.select_port(FiveTuple(nic.ip, "10.0.8.1", 49152, 4791))
+
+    def test_mii_detection_window(self, hpn_mutable):
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        bond = Bond(hpn_mutable, nic, mii_delay=0.1)
+        hpn_mutable.set_link_state(hpn_mutable.port(nic.ports[0]).link_id, False)
+        bond.notice_failure(0, now=1.0)
+        assert bond.member_usable(0, 1.05)       # not yet detected
+        assert not bond.member_usable(0, 1.2)    # detected

@@ -1,0 +1,86 @@
+"""IP/MAC assignment: uniqueness, subnet structure, lookup."""
+
+import pytest
+
+from repro.core.addressing import (
+    SubnetKey,
+    VIRTUAL_ROUTER_MAC,
+    backend_ip,
+    frontend_ip,
+    iter_subnets,
+    nic_by_ip,
+)
+from repro.core.errors import TopologyError
+
+
+def test_backend_ip_structure():
+    assert backend_ip(0, 0, 0, 0) == "10.0.0.1"
+    assert backend_ip(1, 2, 3, 4) == "10.1.19.5"
+
+
+def test_backend_ip_rejects_bad_rail():
+    with pytest.raises(TopologyError):
+        backend_ip(0, 0, 8, 0)
+    with pytest.raises(TopologyError):
+        backend_ip(0, 0, -1, 0)
+
+
+def test_frontend_ip_distinct_space():
+    assert frontend_ip(0, 0, 0).startswith("172.16.")
+
+
+def test_all_nics_have_unique_ips(hpn_small):
+    ips = set()
+    for host in hpn_small.hosts.values():
+        for nic in host.nics:
+            assert nic.ip is not None
+            assert nic.ip not in ips
+            ips.add(nic.ip)
+
+
+def test_all_nics_have_unique_macs(hpn_small):
+    macs = set()
+    for host in hpn_small.hosts.values():
+        for nic in host.nics:
+            assert nic.mac is not None
+            assert nic.mac not in macs
+            macs.add(nic.mac)
+
+
+def test_no_nic_uses_virtual_router_mac(hpn_small):
+    """4.2's requirement: the reserved MAC must never appear on a host."""
+    for host in hpn_small.hosts.values():
+        for nic in host.nics:
+            assert nic.mac.lower() != VIRTUAL_ROUTER_MAC.lower()
+
+
+def test_subnets_group_one_dual_tor_set(hpn_small):
+    """Each (pod, segment, rail) subnet holds one NIC per host."""
+    for key, nics in iter_subnets(hpn_small):
+        assert isinstance(key, SubnetKey)
+        hosts = {n.host for n in nics}
+        assert len(hosts) == len(nics)
+        assert all(n.rail == key.rail for n in nics)
+
+
+def test_subnet_cidr_format():
+    assert SubnetKey(0, 1, 2).cidr() == "10.0.10.0/24"
+
+
+def test_nic_by_ip_lookup(hpn_small):
+    nic = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(3)
+    assert nic_by_ip(hpn_small, nic.ip) is nic
+    with pytest.raises(KeyError):
+        nic_by_ip(hpn_small, "203.0.113.9")
+
+
+def test_same_rail_same_segment_shares_slash24(hpn_small):
+    a = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(2)
+    b = hpn_small.hosts["pod0/seg0/host1"].nic_for_rail(2)
+    assert a.ip.rsplit(".", 1)[0] == b.ip.rsplit(".", 1)[0]
+
+
+def test_different_rails_use_different_subnets(hpn_small):
+    a = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+    b = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(1)
+    assert a.ip.rsplit(".", 1)[0] != b.ip.rsplit(".", 1)[0]

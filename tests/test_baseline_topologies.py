@@ -1,0 +1,150 @@
+"""DCN+, single-ToR, fat-tree, rail-only, frontend builders."""
+
+import pytest
+
+from repro.core import PortKind, SwitchRole
+from repro.topos import (
+    DcnPlusSpec,
+    FrontendSpec,
+    build_dcnplus,
+    build_frontend,
+    validate,
+)
+from repro.topos.railonly import cross_rail_reachable
+from repro.topos.validate import oversubscription_report
+
+
+class TestDcnPlus:
+    def test_validates(self, dcn_small):
+        validate(dcn_small)
+
+    def test_two_tors_per_segment(self, dcn_small):
+        tors = [s for s in dcn_small.switches.values() if s.role is SwitchRole.TOR]
+        assert len(tors) == 2 * 2 * 2  # pods x segments x 2
+
+    def test_host_touches_exactly_two_tors(self, dcn_small):
+        assert len(dcn_small.tors_of_host("pod0/seg0/host0")) == 2
+
+    def test_all_rails_share_the_tor_pair(self, dcn_small):
+        """DCN+ is NOT rail-optimized: every NIC lands on the same pair."""
+        host = dcn_small.hosts["pod0/seg1/host2"]
+        pairs = set()
+        for nic in host.backend_nics():
+            tors = frozenset(
+                dcn_small.tor_for_nic_port(host.name, nic.index, p) for p in (0, 1)
+            )
+            pairs.add(tors)
+        assert len(pairs) == 1
+
+    def test_parallel_tor_agg_links(self, dcn_small):
+        links = dcn_small.link_between("pod0/seg0/tor0", "pod0/agg0")
+        assert len(links) == 2  # SMALL_DCN.tor_agg_links
+
+    def test_core_groups_connect_all_pods(self, dcn_small):
+        for core in dcn_small.switches_by_role(SwitchRole.CORE):
+            pods = {
+                dcn_small.switches[peer].pod
+                for _p, _l, peer in dcn_small.neighbors(core.name)
+            }
+            assert pods == {0, 1}
+
+    def test_full_bisection_at_production_scale(self):
+        topo = build_dcnplus(DcnPlusSpec(pods=2))
+        report = oversubscription_report(topo)
+        assert report["tor"] == pytest.approx(1.0)
+        assert report["agg"] == pytest.approx(1.0)
+
+    def test_single_pod_builds_no_core(self):
+        topo = build_dcnplus(DcnPlusSpec(pods=1))
+        assert topo.switches_by_role(SwitchRole.CORE) == []
+
+
+class TestSingleTor:
+    def test_validates(self, singletor_small):
+        validate(singletor_small)
+
+    def test_single_access_link_per_nic(self, singletor_small):
+        host = singletor_small.hosts["seg0/host0"]
+        for nic in host.backend_nics():
+            wired = [
+                p for p in nic.ports
+                if singletor_small.port(p).link_id is not None
+            ]
+            assert len(wired) == 1
+
+    def test_one_tor_per_host(self, singletor_small):
+        assert len(singletor_small.tors_of_host("seg0/host0")) == 1
+
+    def test_bonded_400g_access(self, singletor_small):
+        host = singletor_small.hosts["seg0/host0"]
+        nic = host.backend_nics()[0]
+        port = singletor_small.port(nic.ports[0])
+        assert singletor_small.links[port.link_id].gbps == 400.0
+
+
+class TestFatTree:
+    def test_validates(self, fattree_k4):
+        validate(fattree_k4)
+
+    def test_k4_inventory(self, fattree_k4):
+        assert len(fattree_k4.hosts) == 16
+        assert len(fattree_k4.switches_by_role(SwitchRole.TOR)) == 8
+        assert len(fattree_k4.switches_by_role(SwitchRole.AGG)) == 8
+        assert len(fattree_k4.switches_by_role(SwitchRole.CORE)) == 4
+
+    def test_edge_uplinks(self, fattree_k4):
+        assert len(fattree_k4.up_ports("pod0/edge0")) == 2
+
+
+class TestRailOnly:
+    def test_validates(self, railonly_small):
+        validate(railonly_small)
+
+    def test_aggs_carry_rail_attribute(self, railonly_small):
+        for agg in railonly_small.switches_by_role(SwitchRole.AGG):
+            assert agg.rail is not None
+
+    def test_cross_rail_not_reachable(self, railonly_small):
+        assert cross_rail_reachable(railonly_small, 2, 2)
+        assert not cross_rail_reachable(railonly_small, 2, 3)
+
+    def test_any_topology_is_cross_rail_reachable(self, hpn_small):
+        assert cross_rail_reachable(hpn_small, 0, 7)
+
+
+class TestFrontend:
+    @pytest.fixture(scope="class")
+    def fe(self):
+        return build_frontend(
+            FrontendSpec(
+                compute_hosts=8,
+                storage_hosts=4,
+                hosts_per_tor_pair=8,
+                aggs=2,
+                cores=2,
+            )
+        )
+
+    def test_validates(self, fe):
+        validate(fe)
+
+    def test_storage_hosts_recorded(self, fe):
+        assert len(fe.meta["storage_hosts"]) == 4
+        for name in fe.meta["storage_hosts"]:
+            assert name in fe.hosts
+
+    def test_storage_hosts_have_no_gpus(self, fe):
+        for name in fe.meta["storage_hosts"]:
+            assert fe.hosts[name].gpus == []
+
+    def test_frontend_nic_dual_homed(self, fe):
+        host = fe.hosts["fe/compute0"]
+        nic = host.frontend_nic()
+        tors = {
+            fe.links[fe.port(p).link_id].other(host.name).node for p in nic.ports
+        }
+        assert len(tors) == 2
+
+    def test_1to1_convergence(self, fe):
+        report = oversubscription_report(fe)
+        assert report["agg"] == pytest.approx(1.0)

@@ -1,0 +1,150 @@
+"""Checkpoint economics and workload generators."""
+
+import pytest
+
+from repro.core.units import GB, HOUR
+from repro.training import (
+    CheckpointSpec,
+    FailureCost,
+    ParallelismPlan,
+    expected_loss_per_failure,
+    representative_intervals_hours,
+    steady_state_overhead,
+    total_overhead,
+    young_daly_interval,
+)
+from repro.workloads import (
+    BurstSpec,
+    CloudTrafficSpec,
+    JobSizeModel,
+    burst_statistics,
+    cdf_points,
+    connection_count_cdf,
+    connections_per_host,
+    generate_cloud_day,
+    generate_nic_series,
+    utilization_fraction,
+)
+
+
+class TestCheckpoint:
+    def test_overhead_at_paper_intervals_is_small(self):
+        """Figure 4 + text: 2-4 h intervals keep overhead around 5%."""
+        spec = CheckpointSpec()
+        for hours in representative_intervals_hours().values():
+            overhead = steady_state_overhead(hours * HOUR, spec)
+            assert overhead < 0.05
+
+    def test_total_overhead_around_5_percent(self):
+        """With crash losses included, the paper quotes ~5%."""
+        spec = CheckpointSpec()
+        mtbf = 15 * 24 * HOUR  # 1-2 crashes/month
+        overhead = total_overhead(3 * HOUR, mtbf, spec)
+        assert 0.005 < overhead < 0.06
+
+    def test_expected_loss_half_interval(self):
+        spec = CheckpointSpec(restore_seconds=300)
+        assert expected_loss_per_failure(2 * HOUR, spec) == pytest.approx(
+            HOUR + 300
+        )
+
+    def test_young_daly_monotone_in_mtbf(self):
+        spec = CheckpointSpec()
+        assert young_daly_interval(100 * HOUR, spec) > young_daly_interval(
+            10 * HOUR, spec
+        )
+
+    def test_validation(self):
+        spec = CheckpointSpec()
+        with pytest.raises(ValueError):
+            steady_state_overhead(0, spec)
+        with pytest.raises(ValueError):
+            young_daly_interval(0, spec)
+
+    def test_storage_bytes(self):
+        assert CheckpointSpec().storage_bytes(3000) == pytest.approx(90_000 * GB)
+
+    def test_failure_cost_30k(self):
+        """Paper: 20K USD/hour job, ~1.5 h rollback -> ~30K USD lost."""
+        assert FailureCost().dollars_lost == pytest.approx(30_000.0)
+
+
+class TestCloudWorkload:
+    def test_day_length(self):
+        day = generate_cloud_day(samples_per_hour=4)
+        assert len(day) == 96
+
+    def test_utilization_well_below_20_percent(self):
+        day = generate_cloud_day()
+        assert utilization_fraction(day) < 0.2
+
+    def test_connection_counts_hundreds_of_thousands(self):
+        day = generate_cloud_day()
+        mean_conns = sum(s.connections for s in day) / len(day)
+        assert 50_000 < mean_conns < 500_000
+
+    def test_diurnal_variation_present(self):
+        day = generate_cloud_day(spec=CloudTrafficSpec(noise=0.0))
+        rates = [s.traffic_in_gbps for s in day]
+        assert max(rates) > 1.2 * min(rates)
+
+    def test_deterministic_for_seed(self):
+        assert generate_cloud_day(seed=5) == generate_cloud_day(seed=5)
+
+
+class TestLlmWorkload:
+    def test_bursts_reach_nic_capacity(self):
+        series = generate_nic_series()
+        stats = burst_statistics(series)
+        assert stats["peak_gbps"] >= 0.95 * 400.0
+
+    def test_duty_cycle_matches_spec(self):
+        spec = BurstSpec(iteration_seconds=10.0, burst_seconds=3.0, jitter=0.0)
+        series = generate_nic_series(spec, duration_seconds=600, dt=0.1)
+        stats = burst_statistics(series, spec)
+        assert stats["duty_cycle"] == pytest.approx(0.3, abs=0.05)
+
+    def test_connections_per_host_dozens_to_hundreds(self):
+        """Figure 3's range."""
+        plan = ParallelismPlan(tp=8, pp=8, dp=4)
+        count = connections_per_host(plan)
+        assert 10 <= count <= 1000
+
+    def test_connection_cdf_sorted(self):
+        plans = [ParallelismPlan(tp=8, pp=1, dp=4)] * 10
+        counts = connection_count_cdf(plans)
+        assert counts == sorted(counts)
+
+    def test_dp1_pp1_has_no_connections(self):
+        plan = ParallelismPlan(tp=8, pp=1, dp=1)
+        assert connections_per_host(plan) == 0
+
+
+class TestJobSizes:
+    def test_96_percent_fit_in_one_segment(self):
+        """Figure 6's anchor: ~96.3% of jobs need <= 1K GPUs."""
+        model = JobSizeModel()
+        assert model.fraction_at_most(1024) == pytest.approx(0.963, abs=0.005)
+
+    def test_all_jobs_below_3k(self):
+        model = JobSizeModel()
+        assert model.max_gpus() < 3200
+        assert model.fraction_at_most(3072) == pytest.approx(1.0)
+
+    def test_sampling_respects_mixture(self):
+        model = JobSizeModel()
+        samples = model.sample(5000, seed=1)
+        frac = sum(1 for s in samples if s <= 1024) / len(samples)
+        assert frac == pytest.approx(0.963, abs=0.02)
+
+    def test_bad_mixture_rejected(self):
+        with pytest.raises(ValueError):
+            JobSizeModel(mixture=((8, 0.5),))
+
+    def test_cdf_points_monotone(self):
+        pts = cdf_points([8, 8, 64, 1024])
+        xs = [x for x, _f in pts]
+        fs = [f for _x, f in pts]
+        assert xs == sorted(xs)
+        assert fs == sorted(fs)
+        assert fs[-1] == 1.0

@@ -1,0 +1,234 @@
+"""Collectives: cost model, connection LB, communicators, operations."""
+
+import pytest
+
+from repro.collective import (
+    Communicator,
+    LeastLoadedPolicy,
+    MessageScheduler,
+    RoundRobinPolicy,
+    SingleConnectionPolicy,
+    all_to_all,
+    allgather,
+    allreduce,
+    establish_conns,
+    multi_allreduce,
+    pipeline_exchange,
+    ring_allgather_edge_bytes,
+    ring_allreduce_edge_bytes,
+    send_recv,
+)
+from repro.collective.lb import Connection
+from repro.collective.model import GpuBoxProfile, allreduce_busbw
+from repro.core.errors import CollectiveError
+from repro.core.units import GB, MB
+from repro.routing import Router, mutually_disjoint
+from repro.routing.path import FlowPath
+
+
+def _hosts(n, seg=0):
+    return [f"pod0/seg{seg}/host{i}" for i in range(n)]
+
+
+class TestCostModel:
+    def test_allreduce_edge_bytes(self):
+        assert ring_allreduce_edge_bytes(100, 4) == pytest.approx(150.0)
+        assert ring_allreduce_edge_bytes(100, 1) == 0.0
+
+    def test_allgather_edge_bytes(self):
+        assert ring_allgather_edge_bytes(100, 4) == pytest.approx(75.0)
+
+    def test_busbw_normalization(self):
+        # 1 GB AllReduce over 8 ranks in 1 s: busbw = 2*(7/8) GB/s
+        assert allreduce_busbw(GB, 8, 1.0) == pytest.approx(1.75e9)
+
+    def test_busbw_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            allreduce_busbw(GB, 8, 0.0)
+
+    def test_profile_times_scale_with_size(self):
+        p = GpuBoxProfile()
+        assert p.intra_reduce_scatter_time(2 * GB, 8) == pytest.approx(
+            2 * p.intra_reduce_scatter_time(GB, 8)
+        )
+        assert p.intra_allgather_time(GB, 1) == 0.0
+        assert p.intra_p2p_time(0) == 0.0
+
+
+class TestEstablishConns:
+    def test_disjoint_paths_on_hpn(self, hpn_small, hpn_router):
+        a = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = hpn_small.hosts["pod0/seg1/host0"].nic_for_rail(0)
+        conns = establish_conns(hpn_router, a, b, num_conns=4)
+        assert len(conns) == 4
+        assert mutually_disjoint([c.path for c in conns])
+
+    def test_alternating_planes(self, hpn_small, hpn_router):
+        a = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = hpn_small.hosts["pod0/seg1/host0"].nic_for_rail(0)
+        conns = establish_conns(hpn_router, a, b, num_conns=2)
+        planes = {c.path.plane for c in conns}
+        assert planes == {0, 1}
+
+    def test_blind_mode_returns_paths_without_guarantee(self, dcn_small, dcn_router):
+        a = dcn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = dcn_small.hosts["pod0/seg1/host1"].nic_for_rail(0)
+        conns = establish_conns(dcn_router, a, b, num_conns=4, disjoint=False)
+        assert len(conns) == 4
+        assert len({c.sport for c in conns}) == 4
+
+
+class TestScheduler:
+    def _conns(self, n=3):
+        return [Connection(sport=i, path=FlowPath(nodes=["a", "b"], dirlinks=[i])) for i in range(n)]
+
+    def test_least_loaded_balances_even_drains(self):
+        conns = self._conns(3)
+        sched = MessageScheduler(conns, LeastLoadedPolicy())
+        sched.send_all([10.0] * 30)
+        totals = sched.assigned_bytes()
+        assert max(totals) - min(totals) <= 10.0
+
+    def test_least_loaded_avoids_congested_connection(self):
+        """Algorithm 2: a slow-draining path accumulates WQE backlog and
+        receives less new work."""
+        conns = self._conns(2)
+        sched = MessageScheduler(conns, LeastLoadedPolicy())
+        sched.send_all([10.0] * 100, drain_weights=[3.0, 1.0])
+        fast, slow = sched.assigned_bytes()
+        assert fast > slow
+
+    def test_round_robin_ignores_congestion(self):
+        conns = self._conns(2)
+        sched = MessageScheduler(conns, RoundRobinPolicy())
+        sched.send_all([10.0] * 100, drain_weights=[3.0, 1.0])
+        a, b = sched.assigned_bytes()
+        assert a == pytest.approx(b)
+
+    def test_single_connection_policy(self):
+        conns = self._conns(2)
+        sched = MessageScheduler(conns, SingleConnectionPolicy())
+        sched.send_all([10.0] * 10)
+        assert sched.assigned_bytes() == [100.0, 0.0]
+
+    def test_empty_connection_set_rejected(self):
+        with pytest.raises(CollectiveError):
+            MessageScheduler([], LeastLoadedPolicy()).send_all([1.0])
+
+    def test_weight_arity_checked(self):
+        with pytest.raises(CollectiveError):
+            MessageScheduler(self._conns(2)).send_all([1.0], drain_weights=[1.0])
+
+
+class TestCommunicator:
+    def test_rank_layout(self, hpn_small, hpn_router):
+        comm = Communicator(hpn_small, hpn_router, _hosts(2))
+        assert comm.world_size == 16
+        assert comm.ranks[0].host == "pod0/seg0/host0"
+        assert comm.ranks[9].host == "pod0/seg0/host1"
+        assert comm.ranks[9].gpu == 1
+
+    def test_rejects_duplicates_and_empty(self, hpn_small, hpn_router):
+        with pytest.raises(CollectiveError):
+            Communicator(hpn_small, hpn_router, [])
+        with pytest.raises(CollectiveError):
+            Communicator(hpn_small, hpn_router, ["pod0/seg0/host0"] * 2)
+
+    def test_connection_cache_and_invalidate(self, hpn_small, hpn_router):
+        comm = Communicator(hpn_small, hpn_router, _hosts(2))
+        c1 = comm.connections("pod0/seg0/host0", "pod0/seg0/host1", 0)
+        c2 = comm.connections("pod0/seg0/host0", "pod0/seg0/host1", 0)
+        assert c1 is c2
+        comm.invalidate_connections()
+        assert comm.connections("pod0/seg0/host0", "pod0/seg0/host1", 0) is not c1
+
+    def test_edge_flows_sum_to_volume(self, hpn_small, hpn_router):
+        comm = Communicator(hpn_small, hpn_router, _hosts(2))
+        flows = comm.edge_flows("pod0/seg0/host0", "pod0/seg0/host1", 0, 64 * MB, tag="t")
+        assert sum(f.size_bytes for f in flows) == pytest.approx(64 * MB)
+
+    def test_ring_flows_edges(self, hpn_small, hpn_router):
+        comm = Communicator(hpn_small, hpn_router, _hosts(4), num_conns=1)
+        flows = comm.ring_flows(0, 10 * MB, tag="ring")
+        # 4 edges x 1 connection
+        assert len(flows) == 4
+
+    def test_zero_bytes_yield_no_flows(self, hpn_small, hpn_router):
+        comm = Communicator(hpn_small, hpn_router, _hosts(2))
+        assert comm.edge_flows("pod0/seg0/host0", "pod0/seg0/host1", 0, 0, tag="t") == []
+
+
+class TestOperations:
+    @pytest.fixture(scope="class")
+    def comm(self, hpn_small, hpn_router):
+        return Communicator(hpn_small, hpn_router, _hosts(4))
+
+    def test_allreduce_result_fields(self, comm):
+        res = allreduce(comm, 256 * MB)
+        assert res.seconds > 0
+        assert res.inter_seconds > 0
+        assert res.intra_seconds > 0
+        assert res.busbw_gb_per_sec > 0
+        assert res.world_size == 32
+
+    def test_allreduce_single_host_is_intra_only(self, hpn_small, hpn_router):
+        comm = Communicator(hpn_small, hpn_router, _hosts(1))
+        res = allreduce(comm, 256 * MB)
+        assert res.inter_seconds == 0.0
+        assert res.intra_seconds > 0
+
+    def test_allreduce_size_validation(self, comm):
+        with pytest.raises(CollectiveError):
+            allreduce(comm, 0)
+
+    def test_allreduce_scales_sublinearly_in_time(self, comm):
+        t1 = allreduce(comm, 128 * MB).seconds
+        t2 = allreduce(comm, 512 * MB).seconds
+        assert 3.0 < t2 / t1 < 5.0
+
+    def test_allgather_bounded_by_nvswitch(self, comm):
+        """Figure 17b: AllGather's intra stage dominates."""
+        res = allgather(comm, GB)
+        assert res.intra_seconds > res.inter_seconds
+
+    def test_multi_allreduce_slower_than_hierarchical(self, comm):
+        """All bytes inter-host: Multi-AllReduce busbw < AllReduce busbw."""
+        ar = allreduce(comm, 256 * MB)
+        mar = multi_allreduce(comm, 256 * MB)
+        assert mar.busbw_gb_per_sec < ar.busbw_gb_per_sec
+        assert set(mar.rail_finish) == set(range(8))
+
+    def test_multi_allreduce_needs_two_hosts(self, hpn_small, hpn_router):
+        comm1 = Communicator(hpn_small, hpn_router, _hosts(1))
+        with pytest.raises(CollectiveError):
+            multi_allreduce(comm1, MB)
+
+    def test_send_recv_goodput(self, comm):
+        res = send_recv(comm, "pod0/seg0/host0", "pod0/seg0/host1", 0, 100 * MB)
+        assert res.seconds > 0
+        # two conns over two planes: up to 400 Gbps
+        assert res.goodput_gbps <= 400.0 + 1e-6
+        assert res.goodput_gbps > 100.0
+
+    def test_pipeline_exchange_concurrent(self, comm):
+        res = pipeline_exchange(
+            comm,
+            [("pod0/seg0/host0", "pod0/seg0/host1"),
+             ("pod0/seg0/host2", "pod0/seg0/host3")],
+            50 * MB,
+        )
+        assert res.seconds > 0
+
+    def test_all_to_all(self, comm):
+        res = all_to_all(comm, 64 * MB)
+        assert res.seconds > 0
+        assert res.relay_seconds == 0.0  # any-to-any fabric needs no relay
+
+    def test_all_to_all_railonly_relays(self, railonly_small):
+        router = Router(railonly_small)
+        comm = Communicator(
+            railonly_small, router,
+            ["seg0/host0", "seg0/host1"], num_conns=1,
+        )
+        res = all_to_all(comm, 64 * MB)
+        assert res.relay_seconds > 0

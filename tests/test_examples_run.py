@@ -1,0 +1,51 @@
+"""Smoke-run the example scripts: the documented entry points must not rot.
+
+The two long-running examples (train_llm, failover_drill) are covered
+by the equivalent benchmarks; here we execute the fast ones end to end
+in a subprocess and sanity-check their output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": ["AllReduce", "plane 1 path"],
+    "design_explorer.py": ["O(60)", "Optimized VC", "cheaper"],
+    "path_selection.py": ["disjoint paths", "WQE scheduler"],
+    "verify_fabric.py": ["forwarding probes", "JSON round-trip: True"],
+    "operations_lessons.py": ["INT wiring", "rail-only", "bottleneck"],
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(FAST_EXAMPLES.items()))
+def test_example_runs_clean(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script} output missing {needle!r}:\n{result.stdout[-2000:]}"
+        )
+
+
+def test_full_report_example(tmp_path):
+    out = tmp_path / "report.md"
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "full_report.py"), str(out)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    report = out.read_text()
+    assert "# HPN reproduction report" in report
+    assert "Multi-AllReduce" in report

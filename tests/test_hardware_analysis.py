@@ -1,0 +1,155 @@
+"""Hardware models (Figures 9-10, cost lessons) and analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    effective_choice_entropy,
+    path_concentration,
+    queue_reduction,
+    stage_choice_correlation,
+    table2,
+    table4,
+)
+from repro.fabric import QueueTracker
+from repro.hardware import (
+    BuildingConstraint,
+    GENERATIONS,
+    HEAT_PIPE,
+    HPN_TOR_PORTS,
+    OPTIMIZED_VC,
+    ORIGINAL_VC,
+    ReliabilityComparison,
+    capacity_doubling_years,
+    cooling_report,
+    generation,
+    network_cost,
+    optimization_gain,
+    power_increase,
+    single_pod_vs_multi_pod_saving,
+    transceiver_saving,
+)
+from repro.routing import FiveTuple
+from repro.topos import HpnSpec
+
+
+class TestSwitchChip:
+    def test_51t_draws_45_percent_more(self):
+        """Figure 9a's headline delta."""
+        assert power_increase("25.6T", "51.2T") == pytest.approx(0.45)
+
+    def test_power_monotone_in_capacity(self):
+        powers = [g.power_watts for g in GENERATIONS]
+        assert powers == sorted(powers)
+
+    def test_efficiency_improves_per_tbps(self):
+        """Newer chips do more per watt."""
+        assert generation("51.2T").watts_per_tbps < generation("3.2T").watts_per_tbps
+
+    def test_capacity_doubles_every_two_years(self):
+        assert capacity_doubling_years() == pytest.approx(2.0)
+
+    def test_unknown_generation(self):
+        with pytest.raises(KeyError):
+            generation("1.6T")
+
+    def test_hpn_tor_layout_fits_the_chip(self):
+        """(128+8) x 200G + 60 x 400G = 51.2T exactly."""
+        assert HPN_TOR_PORTS.used_gbps() == pytest.approx(51200.0)
+        assert HPN_TOR_PORTS.fits_chip()
+
+    def test_multi_chip_fails_123x_more_per_unit(self):
+        """3.77x failures over a 32.6x smaller fleet."""
+        cmp = ReliabilityComparison()
+        assert cmp.per_unit_failure_ratio == pytest.approx(3.77 * 32.6)
+
+
+class TestThermal:
+    def test_only_optimized_vc_supports_full_power(self):
+        """Figure 9b: heat pipe and stock VC trip OTP; optimized VC holds."""
+        chip = generation("51.2T")
+        assert not HEAT_PIPE.supports(chip)
+        assert not ORIGINAL_VC.supports(chip)
+        assert OPTIMIZED_VC.supports(chip)
+
+    def test_optimization_gain_15_percent(self):
+        assert optimization_gain() == pytest.approx(0.15)
+
+    def test_junction_temperature_linear(self):
+        assert ORIGINAL_VC.junction_celsius(0) == pytest.approx(35.0)
+        assert ORIGINAL_VC.junction_celsius(500.0) == pytest.approx(105.0)
+
+    def test_cooling_report_structure(self):
+        report = cooling_report()
+        assert set(report) == {"Heat Pipe", "Original VC", "Optimized VC"}
+        assert report["Optimized VC"]["supports_full_power"]
+
+    def test_shutdown_under_partial_load(self):
+        chip = generation("51.2T")
+        assert not ORIGINAL_VC.shutdown_under_load(chip, load_factor=0.5)
+        assert ORIGINAL_VC.shutdown_under_load(chip, load_factor=1.0)
+
+
+class TestCost:
+    def test_transceiver_saving_70_percent(self):
+        assert transceiver_saving() == pytest.approx(0.7)
+
+    def test_building_houses_one_pod(self):
+        b = BuildingConstraint()
+        assert b.pods_per_building(15360) == 1
+
+    def test_network_cost_counts_elements(self, hpn_small):
+        cost = network_cost(hpn_small)
+        assert cost > 0
+        assert network_cost(hpn_small, cross_building_fraction=0.5) > cost
+
+    def test_single_pod_saving(self):
+        assert single_pod_vs_multi_pod_saving(70, 100) == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            single_pod_vs_multi_pod_saving(1, 0)
+
+
+class TestPolarizationAnalysis:
+    def _flows(self, n):
+        return [FiveTuple("10.0.0.1", "10.0.8.1", 49152 + i, 4791) for i in range(n)]
+
+    def test_same_seed_full_correlation(self):
+        assert stage_choice_correlation(self._flows(100), 0, 0, 16) == 1.0
+
+    def test_distinct_seeds_low_correlation(self):
+        assert stage_choice_correlation(self._flows(400), 1, 2, 16) < 0.3
+
+    def test_entropy_bounds(self):
+        assert effective_choice_entropy([0, 1, 2, 3], 4) == pytest.approx(1.0)
+        assert effective_choice_entropy([0, 0, 0, 0], 4) == pytest.approx(0.0)
+        assert effective_choice_entropy([0], 1) == 1.0
+
+    def test_path_concentration_no_flows(self):
+        assert path_concentration([], "x") == 0.0
+
+    def test_queue_reduction(self, hpn_small):
+        a = QueueTracker(hpn_small)
+        b = QueueTracker(hpn_small)
+        a.queues[0] = 1000.0
+        b.queues[0] = 100.0
+        assert queue_reduction(a, b) == pytest.approx(0.9)
+        assert queue_reduction(b, b) == pytest.approx(0.0)
+
+
+class TestScaleTables:
+    def test_table2_production_progression(self):
+        """Table 2: 64 -> 128 -> 1K tier-1; 2K -> 4K -> 8K -> 15K tier-2."""
+        rows = table2(HpnSpec())
+        by_mech = {r.mechanism: r for r in rows}
+        assert by_mech["51.2Tbps Clos"].tier1_gpus == 64
+        assert by_mech["Dual-ToR"].tier1_gpus == 128
+        assert by_mech["Rail-optimized"].tier1_gpus == 1024
+        assert by_mech["Dual-plane"].tier2_gpus == 8192
+        final = rows[-1]
+        assert final.tier2_gpus == pytest.approx(15360, rel=0.02)
+
+    def test_table4_rail_only_8x(self):
+        any_to_any, rail = table4()
+        assert any_to_any.gpus_per_pod == 15360
+        assert rail.gpus_per_pod == 122880
+        assert rail.tier2_planes == 16
+        assert rail.communication_limitation == "Rail-only"

@@ -1,0 +1,96 @@
+"""Hash family: determinism, spread, polarization semantics."""
+
+import pytest
+
+from repro.routing import (
+    FiveTuple,
+    ecmp_index,
+    ecmp_select,
+    hash_five_tuple,
+    polarization_coefficient,
+)
+
+
+def _flows(n, dst="10.0.1.1"):
+    return [FiveTuple("10.0.0.1", dst, 49152 + i, 4791) for i in range(n)]
+
+
+def test_hash_is_deterministic():
+    ft = FiveTuple("10.0.0.1", "10.0.1.1", 50000, 4791)
+    assert hash_five_tuple(ft, 7) == hash_five_tuple(ft, 7)
+
+
+def test_hash_depends_on_every_field():
+    base = FiveTuple("10.0.0.1", "10.0.1.1", 50000, 4791, 17)
+    variants = [
+        base._replace(src_ip="10.0.0.2"),
+        base._replace(dst_ip="10.0.1.2"),
+        base._replace(sport=50001),
+        base._replace(dport=4792),
+        base._replace(proto=6),
+    ]
+    h0 = hash_five_tuple(base)
+    assert all(hash_five_tuple(v) != h0 for v in variants)
+
+
+def test_hash_depends_on_seed():
+    ft = FiveTuple("10.0.0.1", "10.0.1.1", 50000, 4791)
+    assert hash_five_tuple(ft, 0) != hash_five_tuple(ft, 1)
+
+
+def test_with_sport():
+    ft = FiveTuple("a", "b", 1, 2)
+    assert ft.with_sport(9).sport == 9
+    assert ft.with_sport(9).dst_ip == "b"
+
+
+def test_ecmp_index_in_range():
+    for ft in _flows(100):
+        assert 0 <= ecmp_index(ft, 0, 7) < 7
+
+
+def test_ecmp_index_single_member():
+    assert ecmp_index(_flows(1)[0], 0, 1) == 0
+
+
+def test_ecmp_index_rejects_empty_group():
+    with pytest.raises(ValueError):
+        ecmp_index(_flows(1)[0], 0, 0)
+
+
+def test_ecmp_select_returns_member():
+    members = ["a", "b", "c"]
+    assert ecmp_select(_flows(1)[0], 0, members) in members
+
+
+def test_spread_roughly_uniform():
+    """1000 flows over 8 members: each member gets a decent share."""
+    counts = [0] * 8
+    for ft in _flows(1000):
+        counts[ecmp_index(ft, 0, 8)] += 1
+    assert min(counts) > 1000 / 8 * 0.6
+    assert max(counts) < 1000 / 8 * 1.5
+
+
+def test_same_seed_fully_polarized():
+    """Identical seed + identical member count = identical choices."""
+    flows = _flows(200)
+    a = [ecmp_index(ft, 0, 16) for ft in flows]
+    b = [ecmp_index(ft, 0, 16) for ft in flows]
+    assert polarization_coefficient(a, b) == 1.0
+
+
+def test_different_seeds_decorrelate():
+    flows = _flows(500)
+    a = [ecmp_index(ft, 1, 16) for ft in flows]
+    b = [ecmp_index(ft, 2, 16) for ft in flows]
+    coeff = polarization_coefficient(a, b)
+    # independent hashing: expectation 1/16, allow generous slack
+    assert coeff < 0.25
+
+
+def test_polarization_coefficient_validates_inputs():
+    with pytest.raises(ValueError):
+        polarization_coefficient([], [])
+    with pytest.raises(ValueError):
+        polarization_coefficient([1], [1, 2])

@@ -1,0 +1,150 @@
+"""HPN builder: structure, wiring, production-scale inventory."""
+
+import pytest
+
+from repro.core import PortKind, SwitchRole
+from repro.topos import HpnSpec, build_hpn, dual_tor_pair, segment_hosts, validate
+from repro.topos.validate import oversubscription_report
+
+
+def test_small_hpn_validates(hpn_small):
+    validate(hpn_small)
+
+
+def test_tor_count_per_segment(hpn_small):
+    tors = [s for s in hpn_small.switches.values() if s.role is SwitchRole.TOR]
+    per_segment = {}
+    for t in tors:
+        per_segment.setdefault(t.segment, []).append(t)
+    assert all(len(v) == 16 for v in per_segment.values())
+
+
+def test_host_touches_16_tors(hpn_small):
+    """Rail-optimized + dual-ToR: 8 rails x 2 planes."""
+    assert len(hpn_small.tors_of_host("pod0/seg0/host0")) == 16
+
+
+def test_nic_ports_land_on_own_rail_tors(hpn_small):
+    host = hpn_small.hosts["pod0/seg0/host3"]
+    for nic in host.backend_nics():
+        for plane in (0, 1):
+            tor = hpn_small.tor_for_nic_port(host.name, nic.index, plane)
+            sw = hpn_small.switches[tor]
+            assert sw.rail == nic.rail
+            assert sw.plane == plane
+
+
+def test_dual_tor_pair_helper(hpn_small):
+    a, b = dual_tor_pair(hpn_small, 0, 1, 5)
+    assert hpn_small.switches[a].plane == 0
+    assert hpn_small.switches[b].plane == 1
+    assert hpn_small.switches[a].rail == 5
+
+
+def test_segment_hosts_ordering_and_backup_filter(hpn_small):
+    active = segment_hosts(hpn_small, 0, 0)
+    assert len(active) == 8
+    with_backup = segment_hosts(hpn_small, 0, 0, active_only=False)
+    assert len(with_backup) == 9
+    indices = [hpn_small.hosts[h].index for h in active]
+    assert indices == sorted(indices)
+
+
+def test_tor_uplinks_equal_aggs_per_plane(hpn_small):
+    ups = hpn_small.up_ports("pod0/seg0/tor-r0p0")
+    assert len(ups) == 4  # SMALL_HPN.aggs_per_plane
+
+
+def test_aggs_have_no_uplinks_without_core(hpn_small):
+    assert hpn_small.up_ports("pod0/plane0/agg0") == []
+
+
+def test_backup_hosts_marked(hpn_small):
+    backup = [h for h in hpn_small.hosts.values() if h.backup]
+    assert len(backup) == 2  # one per segment
+    assert all(h.index >= 8 for h in backup)
+
+
+def test_polarized_seeds_shared(hpn_small):
+    seeds = {s.hash_seed for s in hpn_small.switches.values()}
+    assert seeds == {0}
+
+
+def test_diversified_seeds_distinct():
+    topo = build_hpn(
+        HpnSpec(
+            segments_per_pod=1,
+            hosts_per_segment=2,
+            backup_hosts_per_segment=0,
+            aggs_per_plane=2,
+            polarized_hashing=False,
+        )
+    )
+    seeds = [s.hash_seed for s in topo.switches.values()]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_multi_pod_hpn_builds_core_layer():
+    spec = HpnSpec(
+        pods=2,
+        segments_per_pod=1,
+        hosts_per_segment=4,
+        backup_hosts_per_segment=0,
+        aggs_per_plane=4,
+        agg_core_uplinks=2,
+        cores_per_plane=4,
+    )
+    topo = build_hpn(spec)
+    validate(topo)
+    cores = topo.switches_by_role(SwitchRole.CORE)
+    assert len(cores) == 8  # 4 per plane
+    # every core connects to both pods
+    for core in cores:
+        pods = set()
+        for _p, link, peer in topo.neighbors(core.name):
+            pods.add(topo.switches[peer].pod)
+        assert pods == {0, 1}
+
+
+def test_core_links_stay_in_plane():
+    spec = HpnSpec(
+        pods=2,
+        segments_per_pod=1,
+        hosts_per_segment=2,
+        backup_hosts_per_segment=0,
+        aggs_per_plane=2,
+        agg_core_uplinks=2,
+        cores_per_plane=2,
+    )
+    topo = build_hpn(spec)
+    for core in topo.switches_by_role(SwitchRole.CORE):
+        for _p, _l, peer in topo.neighbors(core.name):
+            assert topo.switches[peer].plane == core.plane
+
+
+@pytest.mark.slow
+def test_production_scale_inventory():
+    """Paper Figure 7: 15K GPUs, 240 ToRs, 120 Aggs, 1.067:1 at ToR."""
+    topo = build_hpn(HpnSpec())
+    validate(topo)
+    assert topo.gpu_count() == 15360
+    assert len(topo.switches_by_role(SwitchRole.TOR)) == 15 * 16
+    assert len(topo.switches_by_role(SwitchRole.AGG)) == 120
+    report = oversubscription_report(topo)
+    # measured ratio includes backup hosts: (128+8)*200 / (60*400)
+    assert report["tor"] == pytest.approx(136 * 200 / 24000)
+
+
+def test_tor_port_budget_enforced():
+    from repro.core.errors import SpecError
+
+    # 200 hosts * 200G + 60 uplinks * 400G > 51.2T must be rejected
+    with pytest.raises(SpecError):
+        build_hpn(
+            HpnSpec(
+                segments_per_pod=1,
+                hosts_per_segment=200,
+                backup_hosts_per_segment=0,
+                aggs_per_plane=60,
+            )
+        )

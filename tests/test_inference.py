@@ -1,0 +1,67 @@
+"""Inference-serving model (section 8)."""
+
+import pytest
+
+from repro.training import (
+    GPT3_175B,
+    InferenceWorkload,
+    LLAMA_7B,
+    ServingHost,
+    frontend_supports_inference,
+)
+
+
+def test_wire_bytes_composition():
+    wl = InferenceWorkload(prompt_tokens=100, output_tokens=50, bytes_per_token=4)
+    assert wl.request_bytes() == 400
+    assert wl.response_bytes() == 200
+    assert wl.wire_bytes() == 600
+
+
+def test_kv_shipping_adds_volume():
+    base = InferenceWorkload()
+    disagg = InferenceWorkload(kv_bytes_per_token=1000.0)
+    assert disagg.wire_bytes() > base.wire_bytes()
+
+
+def test_network_rate_scales_with_nic():
+    wl = InferenceWorkload()
+    slow = ServingHost(frontend_gbps=100.0)
+    fast = ServingHost(frontend_gbps=400.0)
+    assert fast.network_requests_per_sec(wl) == pytest.approx(
+        4 * slow.network_requests_per_sec(wl)
+    )
+
+
+def test_compute_rate_scales_inversely_with_params():
+    wl = InferenceWorkload()
+    host = ServingHost()
+    small = host.compute_requests_per_sec(LLAMA_7B, wl)
+    big = host.compute_requests_per_sec(GPT3_175B, wl)
+    assert small / big == pytest.approx(175 / 7, rel=0.01)
+
+
+def test_realistic_serving_is_compute_bound():
+    """Section 8's sizing claim: 2x200G is enough for inference."""
+    wl = InferenceWorkload()
+    host = ServingHost()
+    for cfg in (LLAMA_7B, GPT3_175B):
+        assert host.bottleneck(cfg, wl) == "compute"
+        assert frontend_supports_inference(cfg, wl, host)
+
+
+def test_reserved_fraction_reduces_capacity():
+    wl = InferenceWorkload()
+    free = ServingHost(reserved_fraction=0.0)
+    half = ServingHost(reserved_fraction=0.5)
+    assert half.network_requests_per_sec(wl) == pytest.approx(
+        0.5 * free.network_requests_per_sec(wl)
+    )
+
+
+def test_network_can_become_bottleneck_with_huge_payloads():
+    """Shipping KV caches turns the wire into the constraint."""
+    wl = InferenceWorkload(kv_bytes_per_token=5_000_000.0)
+    host = ServingHost()
+    assert host.bottleneck(LLAMA_7B, wl) == "network"
+    assert not frontend_supports_inference(LLAMA_7B, wl, host)

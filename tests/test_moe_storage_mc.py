@@ -1,0 +1,145 @@
+"""MoE traffic, storage placement, Monte-Carlo reliability."""
+
+import pytest
+
+from repro import Cluster, HpnSpec, RailOnlySpec, build_railonly
+from repro.collective import Communicator
+from repro.core.units import GB, MB
+from repro.reliability import (
+    FleetSimulation,
+    JobFootprint,
+    expected_crash_free_months,
+)
+from repro.routing import Router
+from repro.training import (
+    BACKEND_PLACEMENT,
+    CheckpointSpec,
+    FRONTEND_PLACEMENT,
+    GPT3_175B,
+    LLAMA_7B,
+    MoeConfig,
+    checkpoint_write_time,
+    placement_report,
+    rail_only_penalty,
+    simulate_moe_exchange,
+    training_perturbation,
+)
+
+
+@pytest.fixture(scope="module")
+def hpn4():
+    return Cluster.hpn(
+        HpnSpec(segments_per_pod=1, hosts_per_segment=4,
+                backup_hosts_per_segment=0, aggs_per_plane=2)
+    )
+
+
+class TestMoe:
+    def test_alltoall_bytes_scale_with_topk(self):
+        moe1 = MoeConfig(GPT3_175B, top_k=1)
+        moe2 = MoeConfig(GPT3_175B, top_k=2)
+        assert moe2.alltoall_bytes_per_layer(1024) == pytest.approx(
+            2 * moe1.alltoall_bytes_per_layer(1024)
+        )
+
+    def test_moe_layer_count(self):
+        assert MoeConfig(GPT3_175B, moe_layer_fraction=0.5).moe_layers() == 48
+        assert MoeConfig(LLAMA_7B, moe_layer_fraction=0.01).moe_layers() == 1
+
+    def test_name_tags_experts(self):
+        assert "MoE64" in MoeConfig(GPT3_175B).name
+
+    def test_rail_only_pays_relay_penalty(self, hpn4):
+        moe = MoeConfig(GPT3_175B, num_experts=16)
+        hosts = [f"pod0/seg0/host{i}" for i in range(4)]
+        any_comm = hpn4.communicator(hosts)
+        rail_topo = build_railonly(
+            RailOnlySpec(segments_per_pod=1, hosts_per_segment=4, aggs_per_plane=2)
+        )
+        rail_comm = Communicator(
+            rail_topo, Router(rail_topo), [f"seg0/host{i}" for i in range(4)]
+        )
+        a2a = simulate_moe_exchange(any_comm, moe, tokens_per_rank=512)
+        rail = simulate_moe_exchange(rail_comm, moe, tokens_per_rank=512)
+        assert a2a.relay_seconds == 0.0
+        assert rail.relay_seconds > 0.0
+        assert rail_only_penalty(a2a, rail) > 0.5
+
+    def test_exchange_scales_with_layers(self, hpn4):
+        hosts = [f"pod0/seg0/host{i}" for i in range(4)]
+        comm = hpn4.communicator(hosts)
+        small = simulate_moe_exchange(
+            comm, MoeConfig(GPT3_175B, moe_layer_fraction=0.25), 512
+        )
+        big = simulate_moe_exchange(
+            comm, MoeConfig(GPT3_175B, moe_layer_fraction=0.5), 512
+        )
+        assert big.total_seconds == pytest.approx(2 * small.total_seconds, rel=0.05)
+
+
+class TestStoragePlacement:
+    def test_backend_writes_checkpoints_faster(self):
+        spec = CheckpointSpec()
+        backend = checkpoint_write_time(BACKEND_PLACEMENT, spec)
+        frontend = checkpoint_write_time(FRONTEND_PLACEMENT, spec)
+        assert backend < frontend
+        assert frontend / backend == pytest.approx(8.0)
+
+    def test_frontend_wins_on_every_qualitative_axis(self):
+        rows = {r["placement"]: r for r in placement_report()}
+        assert rows["backend"]["needs_external_proxy"]
+        assert rows["backend"]["perturbs_training"]
+        assert rows["backend"]["tor_ports_per_storage_host"] > 0
+        assert not rows["frontend"]["needs_external_proxy"]
+        assert not rows["frontend"]["perturbs_training"]
+        assert rows["frontend"]["tor_ports_per_storage_host"] == 0
+
+    def test_checkpoint_traffic_perturbs_backend_training(self, hpn4):
+        """Section 10 reason 2: storage bursts slow the gradient rings."""
+        hosts = [f"pod0/seg0/host{i}" for i in range(4)]
+        comm = hpn4.communicator(hosts)
+        slowdown = training_perturbation(
+            comm, grad_bytes=1 * GB, checkpoint_bytes_per_host=2 * GB
+        )
+        assert slowdown > 0.1
+
+    def test_no_checkpoint_no_perturbation(self, hpn4):
+        hosts = [f"pod0/seg0/host{i}" for i in range(4)]
+        comm = hpn4.communicator(hosts)
+        slowdown = training_perturbation(
+            comm, grad_bytes=1 * GB, checkpoint_bytes_per_host=1  # ~nothing
+        )
+        assert slowdown < 0.05
+
+
+class TestMonteCarlo:
+    def test_single_tor_crash_rate_matches_closed_form(self):
+        sim = FleetSimulation(JobFootprint.for_gpus(3000, dual_tor=False), seed=1)
+        summary = sim.summarize(months=120)
+        # paper: 1-2 crashes per month for a 3K-GPU single-ToR job
+        assert 1.0 < summary["mean_crashes_per_month"] < 2.6
+
+    def test_dual_tor_converts_crashes_to_degradations(self):
+        single = FleetSimulation(JobFootprint.for_gpus(3000, False), seed=2)
+        dual = FleetSimulation(JobFootprint.for_gpus(3000, True), seed=2)
+        s = single.summarize(months=60)
+        d = dual.summarize(months=60)
+        assert d["mean_crashes_per_month"] < 0.2 * s["mean_crashes_per_month"]
+        assert d["mean_degradations_per_month"] > 0
+
+    def test_eight_crash_free_months_plausible_only_with_dual_tor(self):
+        dual = expected_crash_free_months(3000, dual_tor=True)
+        single = expected_crash_free_months(3000, dual_tor=False)
+        assert dual > 0.5
+        assert single < 0.05
+
+    def test_footprint_scaling(self):
+        small = JobFootprint.for_gpus(256, dual_tor=True)
+        big = JobFootprint.for_gpus(2560, dual_tor=True)
+        assert big.access_links == 10 * small.access_links
+
+    def test_zero_rate_is_quiet(self):
+        sim = FleetSimulation(
+            JobFootprint(access_links=0, tors=0, dual_tor=True)
+        )
+        assert sim.summarize(12)["mean_crashes_per_month"] == 0.0

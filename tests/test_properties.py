@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.units import gbps_to_bytes_per_sec
+from repro.fabric import Flow, max_min_rates
+from repro.routing import FiveTuple, Router, ecmp_index, hash_five_tuple
+from repro.routing.path import FlowPath
+from repro.topos import HpnSpec, build_hpn, validate
+from repro.training import ParallelismPlan, Placement
+
+# topology generation is slow-ish: keep example counts modest
+TOPO_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_hpn_specs(draw):
+    return HpnSpec(
+        segments_per_pod=draw(st.integers(1, 3)),
+        hosts_per_segment=draw(st.integers(1, 6)),
+        backup_hosts_per_segment=draw(st.integers(0, 2)),
+        gpus_per_host=draw(st.sampled_from([1, 2, 4, 8])),
+        aggs_per_plane=draw(st.integers(1, 6)),
+        agg_core_uplinks=0,
+    )
+
+
+@TOPO_SETTINGS
+@given(spec=small_hpn_specs())
+def test_random_hpn_specs_build_valid_topologies(spec):
+    topo = build_hpn(spec)
+    validate(topo)
+    assert topo.gpu_count() == spec.total_gpus
+    # every active host reaches rails x 2 distinct ToRs
+    host = next(h for h in topo.hosts.values() if not h.backup)
+    assert len(topo.tors_of_host(host.name)) == spec.rails * 2
+
+
+@TOPO_SETTINGS
+@given(spec=small_hpn_specs(), sport=st.integers(1024, 65535))
+def test_routing_is_plane_pinned_for_any_spec(spec, sport):
+    if spec.segments_per_pod < 2:
+        return
+    topo = build_hpn(spec)
+    router = Router(topo)
+    a = topo.hosts["pod0/seg0/host0"].nic_for_rail(0)
+    b = topo.hosts["pod0/seg1/host0"].nic_for_rail(0)
+    ft = FiveTuple(a.ip, b.ip, sport, 4791)
+    for plane in (0, 1):
+        path = router.path_for(a, b, ft, plane=plane)
+        planes = {
+            topo.switches[n].plane
+            for n in path.switch_nodes()
+            if topo.switches[n].plane is not None
+        }
+        assert planes == {plane}
+
+
+@given(
+    src=st.text(alphabet="0123456789.", min_size=1, max_size=15),
+    dst=st.text(alphabet="0123456789.", min_size=1, max_size=15),
+    sport=st.integers(0, 65535),
+    dport=st.integers(0, 65535),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_hash_deterministic_and_bounded(src, dst, sport, dport, seed):
+    ft = FiveTuple(src, dst, sport, dport)
+    h = hash_five_tuple(ft, seed)
+    assert h == hash_five_tuple(ft, seed)
+    assert 0 <= h < 2**32
+
+
+@given(
+    n_members=st.integers(1, 64),
+    sport=st.integers(0, 65535),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_ecmp_index_always_in_range(n_members, sport, seed):
+    ft = FiveTuple("10.0.0.1", "10.0.1.1", sport, 4791)
+    assert 0 <= ecmp_index(ft, seed, n_members) < n_members
+
+
+@st.composite
+def flow_populations(draw):
+    """Random flows over a synthetic 3-link line network."""
+    n_flows = draw(st.integers(1, 20))
+    caps = draw(
+        st.lists(st.floats(10.0, 400.0), min_size=3, max_size=3)
+    )
+    flows = []
+    for i in range(n_flows):
+        # each flow uses a random contiguous slice of the 3 links
+        start = draw(st.integers(0, 2))
+        end = draw(st.integers(start, 2))
+        dirlinks = [k * 2 for k in range(start, end + 1)]
+        ft = FiveTuple("a", "b", i, 1)
+        path = FlowPath(nodes=["h"] * (len(dirlinks) + 1), dirlinks=dirlinks)
+        flows.append(Flow(ft, 1e9, path))
+    return flows, caps
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=flow_populations())
+def test_max_min_allocation_is_feasible_and_positive(data):
+    flows, caps = data
+
+    def link_gbps(dl):
+        return caps[dl // 2]
+
+    rates = max_min_rates(flows, link_gbps)
+    # feasibility: no link over capacity
+    usage = {}
+    for f in flows:
+        for dl in f.path.dirlinks:
+            usage[dl] = usage.get(dl, 0.0) + rates[f.flow_id]
+    for dl, used in usage.items():
+        assert used <= caps[dl // 2] * (1 + 1e-9)
+    # all-positive capacities: every flow gets some rate
+    assert all(rates[f.flow_id] > 0 for f in flows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=flow_populations())
+def test_max_min_is_pareto_bottlenecked(data):
+    """Every flow is limited by at least one saturated link (max-min
+    optimality certificate)."""
+    flows, caps = data
+
+    def link_gbps(dl):
+        return caps[dl // 2]
+
+    rates = max_min_rates(flows, link_gbps)
+    usage = {}
+    for f in flows:
+        for dl in f.path.dirlinks:
+            usage[dl] = usage.get(dl, 0.0) + rates[f.flow_id]
+    for f in flows:
+        bottlenecked = any(
+            usage[dl] >= caps[dl // 2] * (1 - 1e-6) for dl in f.path.dirlinks
+        )
+        assert bottlenecked
+
+
+@given(
+    tp=st.sampled_from([1, 2, 4, 8]),
+    pp=st.integers(1, 4),
+    dp=st.integers(1, 4),
+)
+def test_rank_coordinate_roundtrip(tp, pp, dp):
+    plan = ParallelismPlan(tp=tp, pp=pp, dp=dp)
+    world = plan.world_size
+    if world % plan.gpus_per_host:
+        return
+    hosts = [f"h{i}" for i in range(world // plan.gpus_per_host)]
+    placement = Placement(plan=plan, hosts=hosts)
+    for rank in range(world):
+        d, p, t = placement.rank_coords(rank)
+        assert placement.rank_of(d, p, t) == rank
+        assert 0 <= d < dp and 0 <= p < pp and 0 <= t < tp
+
+
+@given(
+    tp=st.sampled_from([1, 2, 4, 8]),
+    pp=st.integers(1, 4),
+    dp=st.integers(1, 4),
+)
+def test_group_partitions_cover_all_ranks_exactly_once(tp, pp, dp):
+    plan = ParallelismPlan(tp=tp, pp=pp, dp=dp)
+    world = plan.world_size
+    if world % plan.gpus_per_host:
+        return
+    hosts = [f"h{i}" for i in range(world // plan.gpus_per_host)]
+    placement = Placement(plan=plan, hosts=hosts)
+    for groups in (placement.tp_groups(), placement.pp_groups(), placement.dp_groups()):
+        seen = sorted(r for g in groups for r in g)
+        assert seen == list(range(world))
+
+
+@given(size=st.floats(1.0, 1e12), gbps=st.floats(0.001, 51200.0))
+def test_transfer_time_consistency(size, gbps):
+    from repro.core.units import transfer_time
+
+    t = transfer_time(size, gbps)
+    assert t > 0
+    assert math.isclose(t * gbps_to_bytes_per_sec(gbps), size, rel_tol=1e-9)

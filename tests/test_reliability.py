@@ -1,0 +1,151 @@
+"""Reliability: failure stats, SPOF analysis, fault injection."""
+
+import pytest
+
+from repro import Cluster, HpnSpec, SingleTorSpec
+from repro.reliability import (
+    FaultInjector,
+    FleetFailureModel,
+    expected_crashes_per_month,
+    analyze_access_link_spof,
+    analyze_tor_spof,
+    disconnected_hosts_on_tor_failure,
+    link_failure_scenario,
+    link_flapping_scenario,
+    monthly_series,
+    tor_crash_scenario,
+)
+from repro.training import LLAMA_7B, ParallelismPlan
+
+
+class TestStats:
+    def test_3k_gpu_job_crashes_1_to_2_per_month(self):
+        """Paper 2.3: production rates imply 1-2 crashes/month."""
+        rate = expected_crashes_per_month(3000)
+        assert 1.0 <= rate <= 2.5
+
+    def test_mtbf_infinite_without_exposure(self):
+        model = FleetFailureModel()
+        assert model.job_mtbf_seconds(0, 0) == float("inf")
+
+    def test_mtbf_reasonable_for_large_job(self):
+        model = FleetFailureModel()
+        mtbf = model.job_mtbf_seconds(3000, 24)
+        # 1-2 crashes a month -> MTBF of roughly 2-4 weeks
+        assert 10 * 24 * 3600 < mtbf < 35 * 24 * 3600
+
+    def test_monthly_series_near_paper_rate(self):
+        series = monthly_series(months=12)
+        assert len(series) == 12
+        for _label, ratio in series:
+            assert 0.0 <= ratio < 0.001  # Figure 5's y-range (<0.1%)
+
+    def test_monthly_series_deterministic(self):
+        assert monthly_series(seed=3) == monthly_series(seed=3)
+
+
+class TestSpof:
+    def test_hpn_has_no_tor_spof(self, hpn_small):
+        report = analyze_tor_spof(hpn_small)
+        assert report.is_spof_free
+        assert report.switches_checked == 32
+
+    def test_dcn_has_no_tor_spof(self, dcn_small):
+        assert analyze_tor_spof(dcn_small).is_spof_free
+
+    def test_singletor_every_tor_is_spof(self, singletor_small):
+        report = analyze_tor_spof(singletor_small)
+        assert len(report.spof_switches) == 2
+
+    def test_singletor_access_links_are_spof(self, singletor_small):
+        report = analyze_access_link_spof(singletor_small)
+        assert len(report.spof_links) == report.links_checked > 0
+
+    def test_hpn_access_links_are_not_spof(self, hpn_small):
+        report = analyze_access_link_spof(hpn_small, sample_every=8)
+        assert not report.spof_links
+
+    def test_disconnected_hosts_report(self, singletor_small):
+        victims = disconnected_hosts_on_tor_failure(singletor_small, "seg0/tor0")
+        assert len(victims) == 4  # the whole segment
+
+    def test_spof_analysis_restores_state(self, hpn_small):
+        analyze_tor_spof(hpn_small)
+        assert all(l.up for l in hpn_small.links.values())
+        assert all(s.up for s in hpn_small.switches.values())
+
+
+class TestInjection:
+    @pytest.fixture()
+    def hpn_job(self):
+        cluster = Cluster.hpn(
+            HpnSpec(
+                segments_per_pod=1, hosts_per_segment=8,
+                backup_hosts_per_segment=0, aggs_per_plane=4,
+            )
+        )
+        hosts = cluster.place(8)
+        return cluster.train(
+            LLAMA_7B, ParallelismPlan(tp=8, pp=1, dp=8), hosts, microbatches=18
+        ), hosts
+
+    @pytest.fixture()
+    def st_job(self):
+        cluster = Cluster.singletor(SingleTorSpec(segments=1, hosts_per_segment=8))
+        hosts = cluster.place(8)
+        return cluster.train(
+            LLAMA_7B, ParallelismPlan(tp=8, pp=1, dp=8), hosts, microbatches=18
+        ), hosts
+
+    def test_dual_tor_degrades_but_never_halts(self, hpn_job):
+        job, hosts = hpn_job
+        events = link_failure_scenario(hosts[0], 0, fail_at=10.0, repair_at=60.0)
+        result = FaultInjector(job).run(events, duration=120.0)
+        assert not result.crashed
+        base = result.timeline[0].samples_per_sec
+        degraded = result.throughput_at(30.0)
+        assert 0 < degraded < base
+        # a single 200G leg out of 16 costs a few percent, not tens
+        assert degraded > 0.8 * base
+        assert result.throughput_at(80.0) == pytest.approx(base)
+
+    def test_single_tor_halts_then_recovers(self, st_job):
+        job, hosts = st_job
+        events = link_failure_scenario(hosts[0], 0, fail_at=10.0, repair_at=50.0)
+        result = FaultInjector(job).run(events, duration=120.0)
+        assert not result.crashed
+        assert result.throughput_at(30.0) == 0.0
+        # reconnect stall: still down right after repair
+        assert result.throughput_at(52.0) == 0.0
+        assert result.throughput_at(70.0) > 0
+
+    def test_single_tor_crashes_on_long_outage(self, st_job):
+        """Figure 18a: repairs beyond the timeout cannot save the job."""
+        job, hosts = st_job
+        events = link_failure_scenario(hosts[0], 0, fail_at=10.0, repair_at=200.0)
+        result = FaultInjector(job).run(events, duration=400.0)
+        assert result.crashed
+        assert result.crash_time == pytest.approx(130.0)
+
+    def test_unrepaired_outage_crashes(self, st_job):
+        job, hosts = st_job
+        events = link_failure_scenario(hosts[0], 0, fail_at=10.0)
+        result = FaultInjector(job).run(events, duration=300.0)
+        assert result.crashed
+
+    def test_flapping_negligible_on_dual_tor(self, hpn_job):
+        """Figure 18b: dual-ToR rides out flaps."""
+        job, hosts = hpn_job
+        events = link_flapping_scenario(hosts[0], 0, start=5.0, flaps=3)
+        result = FaultInjector(job).run(events, duration=60.0)
+        assert not result.crashed
+        base = result.timeline[0].samples_per_sec
+        assert result.timeline[-1].samples_per_sec == pytest.approx(base)
+
+    def test_tor_crash_dual_tor_survives(self, hpn_job):
+        job, hosts = hpn_job
+        tor = job.topo.tors_of_host(hosts[0])[0]
+        events = tor_crash_scenario(tor, fail_at=10.0, repair_at=60.0)
+        result = FaultInjector(job).run(events, duration=120.0)
+        assert not result.crashed
+        assert result.min_throughput(after=1.0) > 0

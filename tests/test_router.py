@@ -1,0 +1,203 @@
+"""Router: plane pinning, up/down walks, failover, path counting."""
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.routing import FiveTuple, Router
+from repro.topos import HpnSpec, build_hpn, build_railonly, RailOnlySpec
+
+
+def _nics(topo, src_host, dst_host, rail=0):
+    return (
+        topo.hosts[src_host].nic_for_rail(rail),
+        topo.hosts[dst_host].nic_for_rail(rail),
+    )
+
+
+def _ft(a, b, sport=50000):
+    return FiveTuple(a.ip, b.ip, sport, 4791)
+
+
+class TestHpnRouting:
+    def test_same_segment_same_rail_is_two_hops(self, hpn_small, hpn_router):
+        a, b = _nics(hpn_small, "pod0/seg0/host0", "pod0/seg0/host1", rail=3)
+        path = hpn_router.path_for(a, b, _ft(a, b), plane=0)
+        assert path.hops == 2
+        assert path.nodes[1] == "pod0/seg0/tor-r3p0"
+
+    def test_cross_segment_is_four_hops(self, hpn_small, hpn_router):
+        a, b = _nics(hpn_small, "pod0/seg0/host0", "pod0/seg1/host0")
+        path = hpn_router.path_for(a, b, _ft(a, b), plane=0)
+        assert path.hops == 4
+        assert "agg" in path.nodes[2]
+
+    def test_plane_is_pinned_end_to_end(self, hpn_small, hpn_router):
+        a, b = _nics(hpn_small, "pod0/seg0/host0", "pod0/seg1/host2")
+        for plane in (0, 1):
+            path = hpn_router.path_for(a, b, _ft(a, b), plane=plane)
+            assert path.plane == plane
+            for node in path.switch_nodes():
+                assert hpn_small.switches[node].plane == plane
+
+    def test_cross_rail_goes_through_agg(self, hpn_small, hpn_router):
+        a = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(1)
+        b = hpn_small.hosts["pod0/seg0/host1"].nic_for_rail(6)
+        path = hpn_router.path_for(a, b, _ft(a, b), plane=0)
+        assert path.hops == 4
+        assert hpn_small.switches[path.nodes[1]].rail == 1
+        assert hpn_small.switches[path.nodes[3]].rail == 6
+
+    def test_intra_host_rejected(self, hpn_small, hpn_router):
+        a = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = hpn_small.hosts["pod0/seg0/host0"].nic_for_rail(1)
+        with pytest.raises(RoutingError):
+            hpn_router.path_for(a, b, _ft(a, b))
+
+    def test_path_count_matches_tor_uplinks(self, hpn_small, hpn_router):
+        a, b = _nics(hpn_small, "pod0/seg0/host0", "pod0/seg1/host0")
+        # dual-plane: once the uplink is chosen, the path is determined
+        assert hpn_router.count_equal_paths(a, b, plane=0) == 4
+
+    def test_same_tor_single_path(self, hpn_small, hpn_router):
+        a, b = _nics(hpn_small, "pod0/seg0/host0", "pod0/seg0/host1")
+        assert hpn_router.count_equal_paths(a, b, plane=0) == 1
+
+    def test_deterministic_path_for_same_tuple(self, hpn_small, hpn_router):
+        a, b = _nics(hpn_small, "pod0/seg0/host0", "pod0/seg1/host3")
+        ft = _ft(a, b)
+        p1 = hpn_router.path_for(a, b, ft, plane=0)
+        p2 = hpn_router.path_for(a, b, ft, plane=0)
+        assert p1.dirlinks == p2.dirlinks
+
+    def test_different_sports_can_take_different_aggs(self, hpn_small, hpn_router):
+        a, b = _nics(hpn_small, "pod0/seg0/host0", "pod0/seg1/host3")
+        aggs = {
+            hpn_router.path_for(a, b, _ft(a, b, sport), plane=0).nodes[2]
+            for sport in range(49152, 49152 + 64)
+        }
+        assert len(aggs) > 1
+
+
+class TestFailover:
+    def test_dst_access_failure_switches_plane(self, hpn_mutable):
+        router = Router(hpn_mutable)
+        a, b = _nics(hpn_mutable, "pod0/seg0/host0", "pod0/seg1/host0")
+        # kill dst plane-0 access link
+        port = hpn_mutable.port(b.ports[0])
+        hpn_mutable.set_link_state(port.link_id, False)
+        path = router.path_for(a, b, _ft(a, b), plane=0)
+        assert path.plane == 1
+
+    def test_src_access_failure_switches_plane(self, hpn_mutable):
+        router = Router(hpn_mutable)
+        a, b = _nics(hpn_mutable, "pod0/seg0/host0", "pod0/seg1/host0")
+        port = hpn_mutable.port(a.ports[0])
+        hpn_mutable.set_link_state(port.link_id, False)
+        path = router.path_for(a, b, _ft(a, b), plane=0)
+        assert path.plane == 1
+
+    def test_both_planes_down_unreachable(self, hpn_mutable):
+        router = Router(hpn_mutable)
+        a, b = _nics(hpn_mutable, "pod0/seg0/host0", "pod0/seg1/host0")
+        for pref in b.ports:
+            hpn_mutable.set_link_state(hpn_mutable.port(pref).link_id, False)
+        with pytest.raises(RoutingError):
+            router.path_for(a, b, _ft(a, b))
+
+    def test_usable_planes_reporting(self, hpn_mutable):
+        router = Router(hpn_mutable)
+        a, b = _nics(hpn_mutable, "pod0/seg0/host0", "pod0/seg1/host0")
+        assert router.usable_planes(a, b) == [0, 1]
+        hpn_mutable.set_link_state(hpn_mutable.port(b.ports[0]).link_id, False)
+        assert router.usable_planes(a, b) == [1]
+
+    def test_tor_failure_reroutes(self, hpn_mutable):
+        router = Router(hpn_mutable)
+        a, b = _nics(hpn_mutable, "pod0/seg0/host0", "pod0/seg0/host1")
+        hpn_mutable.fail_node("pod0/seg0/tor-r0p0")
+        path = router.path_for(a, b, _ft(a, b), plane=0)
+        assert path.plane == 1
+        assert path.nodes[1] == "pod0/seg0/tor-r0p1"
+
+
+class TestDcnRouting:
+    def test_cross_pod_six_hops(self, dcn_small, dcn_router):
+        a = dcn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = dcn_small.hosts["pod1/seg1/host1"].nic_for_rail(0)
+        path = dcn_router.path_for(a, b, _ft(a, b), plane=0)
+        assert path.hops == 6
+        assert any(n.startswith("core/") for n in path.nodes)
+
+    def test_down_direction_may_cross_sides(self, dcn_small, dcn_router):
+        """Without plane isolation, delivery ToR is hash luck -- the
+        Figure 13a imbalance mechanism."""
+        a = dcn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = dcn_small.hosts["pod0/seg1/host1"].nic_for_rail(0)
+        dst_tors = set()
+        for sport in range(49152, 49152 + 64):
+            path = dcn_router.path_for(a, b, _ft(a, b, sport), plane=0)
+            dst_tors.add(path.nodes[-2])
+        assert len(dst_tors) == 2
+
+    def test_intra_pod_path_count(self, dcn_small, dcn_router):
+        a = dcn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = dcn_small.hosts["pod0/seg1/host1"].nic_for_rail(0)
+        # 2 tors(src side fixed)... up: 2 aggs x 2 links; down: 2 dst
+        # tors x 2 links each = (4) x (4) = 16
+        assert dcn_router.count_equal_paths(a, b, plane=0) == 16
+
+
+class TestRailOnlyRouting:
+    def test_same_rail_routes(self, railonly_small):
+        router = Router(railonly_small)
+        a = railonly_small.hosts["seg0/host0"].nic_for_rail(2)
+        b = railonly_small.hosts["seg1/host1"].nic_for_rail(2)
+        path = router.path_for(a, b, _ft(a, b), plane=0)
+        assert path.hops == 4
+
+    def test_cross_rail_unroutable(self, railonly_small):
+        router = Router(railonly_small)
+        a = railonly_small.hosts["seg0/host0"].nic_for_rail(2)
+        b = railonly_small.hosts["seg1/host1"].nic_for_rail(3)
+        with pytest.raises(RoutingError):
+            router.path_for(a, b, _ft(a, b), plane=0)
+
+
+class TestCrossPodHpn:
+    @pytest.fixture(scope="class")
+    def pod2(self):
+        spec = HpnSpec(
+            pods=2,
+            segments_per_pod=1,
+            hosts_per_segment=4,
+            backup_hosts_per_segment=0,
+            aggs_per_plane=4,
+            agg_core_uplinks=2,
+            cores_per_plane=4,
+        )
+        return build_hpn(spec)
+
+    def test_cross_pod_six_hops_same_plane(self, pod2):
+        router = Router(pod2)
+        a = pod2.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = pod2.hosts["pod1/seg0/host0"].nic_for_rail(0)
+        path = router.path_for(a, b, _ft(a, b), plane=1)
+        assert path.hops == 6
+        for node in path.switch_nodes():
+            assert pod2.switches[node].plane == 1
+
+    def test_per_port_core_hash_is_tuple_irrelevant(self, pod2):
+        """Section 7: same ingress -> same egress, regardless of 5-tuple."""
+        router = Router(pod2, per_port_core_hash=True)
+        a = pod2.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = pod2.hosts["pod1/seg0/host0"].nic_for_rail(0)
+        egress = {}
+        for sport in range(49152, 49152 + 32):
+            path = router.path_for(a, b, _ft(a, b, sport), plane=0)
+            core_idx = next(
+                i for i, n in enumerate(path.nodes) if n.startswith("core/")
+            )
+            key = path.dirlinks[core_idx - 1]  # ingress link to the core
+            egress.setdefault(key, set()).add(path.dirlinks[core_idx])
+        for choices in egress.values():
+            assert len(choices) == 1

@@ -1,0 +1,87 @@
+"""Architecture specs: derived quantities and validation."""
+
+import pytest
+
+from repro.core.errors import SpecError
+from repro.topos import DcnPlusSpec, FatTreeSpec, HpnSpec, RailOnlySpec
+from repro.topos.spec import ArchitectureCard
+
+
+class TestHpnSpec:
+    def test_production_defaults_match_paper(self):
+        spec = HpnSpec()
+        assert spec.gpus_per_segment == 1024
+        assert spec.gpus_per_pod == 15360
+        assert spec.tors_per_segment == 16
+        assert spec.tor_uplinks == 60
+        assert spec.tor_downlinks == 136
+
+    def test_tor_oversubscription_paper_value(self):
+        # paper: "near 1:1 (actually 1.067:1)" over active ports
+        assert HpnSpec().tor_oversubscription == pytest.approx(128 * 200 / (60 * 400))
+        assert HpnSpec().tor_oversubscription == pytest.approx(1.0667, abs=1e-3)
+
+    def test_tor_oversubscription_with_backup(self):
+        assert HpnSpec().tor_oversubscription_with_backup == pytest.approx(
+            136 * 200 / (60 * 400)
+        )
+
+    def test_agg_core_oversubscription_is_15_to_1(self):
+        assert HpnSpec().agg_core_oversubscription == pytest.approx(15.0)
+
+    def test_agg_downlinks(self):
+        assert HpnSpec().agg_downlinks == 120
+
+    def test_multi_pod_requires_core(self):
+        with pytest.raises(SpecError):
+            HpnSpec(pods=2, cores_per_plane=0)
+
+    def test_core_striping_must_divide(self):
+        with pytest.raises(SpecError):
+            HpnSpec(cores_per_plane=7, aggs_per_plane=4, agg_core_uplinks=2)
+
+    def test_rejects_nonsense_counts(self):
+        with pytest.raises(SpecError):
+            HpnSpec(segments_per_pod=0)
+        with pytest.raises(SpecError):
+            HpnSpec(gpus_per_host=9)
+        with pytest.raises(SpecError):
+            HpnSpec(aggs_per_plane=0)
+
+
+class TestDcnPlusSpec:
+    def test_production_defaults(self):
+        spec = DcnPlusSpec(pods=32)
+        assert spec.gpus_per_pod == 512
+        assert spec.total_gpus == 16384
+        assert spec.tor_downlinks == 128
+        assert spec.tor_uplinks == 64
+
+    def test_core_group_divisibility(self):
+        with pytest.raises(SpecError):
+            DcnPlusSpec(agg_core_uplinks=10, cores_per_group=3)
+
+
+class TestFatTreeSpec:
+    def test_k48_scale_matches_table1(self):
+        assert FatTreeSpec(k=48).total_gpus == 27648
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(SpecError):
+            FatTreeSpec(k=5)
+
+
+class TestRailOnlySpec:
+    def test_planes_per_rail(self):
+        spec = RailOnlySpec()
+        assert spec.planes == 16
+        assert spec.rails == 8
+
+
+class TestArchitectureCard:
+    def test_complexity_is_fanout_product(self):
+        card = ArchitectureCard("x", 1, 3, lb_fanouts=(32, 32, 4))
+        assert card.path_selection_complexity == 4096
+
+    def test_empty_fanouts_complexity_one(self):
+        assert ArchitectureCard("x", 1, 1).path_selection_complexity == 1

@@ -1,0 +1,117 @@
+"""Operational telemetry: INT wiring probes and LFS asymmetric links."""
+
+import pytest
+
+from repro import Cluster, HpnSpec
+from repro.core.errors import TopologyError
+from repro.telemetry import (
+    Blueprint,
+    LfsModel,
+    LfsOutcome,
+    probe_path,
+    swap_access_links,
+    verify_wiring,
+)
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster.hpn(
+        HpnSpec(segments_per_pod=2, hosts_per_segment=4,
+                backup_hosts_per_segment=0, aggs_per_plane=2)
+    )
+
+
+class TestWiringProbes:
+    def test_clean_build_has_no_faults(self, cluster):
+        assert verify_wiring(cluster.topo) == []
+
+    def test_probe_records_every_hop(self, cluster):
+        a = cluster.topo.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = cluster.topo.hosts["pod0/seg1/host0"].nic_for_rail(0)
+        trace = probe_path(cluster.router, a, b, plane=0)
+        assert len(trace.hops) == 3  # tor, agg, tor
+        assert trace.hops[0].switch == "pod0/seg0/tor-r0p0"
+        assert trace.plane == 0
+
+    def test_swap_detected_on_both_nics(self, cluster):
+        a = cluster.topo.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = cluster.topo.hosts["pod0/seg0/host1"].nic_for_rail(1)
+        swap_access_links(cluster.topo, a, b, port=0)
+        faults = verify_wiring(cluster.topo)
+        assert len(faults) == 2
+        assert all(f.kind == "access-miswire" for f in faults)
+
+    def test_same_rail_swap_is_invisible(self, cluster):
+        """Swapping two same-rail cables still satisfies the blueprint
+        (both land on the same ToR) -- no fault, no harm."""
+        a = cluster.topo.hosts["pod0/seg0/host0"].nic_for_rail(3)
+        b = cluster.topo.hosts["pod0/seg0/host1"].nic_for_rail(3)
+        swap_access_links(cluster.topo, a, b, port=0)
+        assert verify_wiring(cluster.topo) == []
+
+    def test_swap_requires_wired_ports(self, cluster):
+        from repro.core.entities import Nic
+
+        a = cluster.topo.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        fake = Nic(host="pod0/seg0/host0", index=99, rail=0,
+                   ports=(a.ports[0],))
+        # frontend NIC port 1 is unwired in the backend topology
+        fe = cluster.topo.hosts["pod0/seg0/host0"].frontend_nic()
+        with pytest.raises(TopologyError):
+            swap_access_links(cluster.topo, a, fe, port=0)
+
+    def test_blueprint_non_hpn_returns_none(self, dcn_small):
+        bp = Blueprint(dcn_small)
+        nic = dcn_small.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        assert bp.expected_tor(nic, 0) is None
+        assert verify_wiring(dcn_small) == []
+
+    def test_miswire_also_breaks_validation(self, cluster):
+        """The topology validator catches the same fault differently."""
+        from repro.topos import validate
+
+        a = cluster.topo.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        b = cluster.topo.hosts["pod0/seg0/host1"].nic_for_rail(1)
+        swap_access_links(cluster.topo, a, b, port=0)
+        with pytest.raises(TopologyError):
+            validate(cluster.topo)
+
+
+class TestLfs:
+    def test_clean_link_needs_nothing(self, cluster):
+        model = LfsModel(cluster.topo)
+        assert model.negotiate(0) is LfsOutcome.NOT_NEEDED
+        assert model.goodput_factor(0, 0) == 1.0
+
+    def test_honoured_lfs_takes_link_down(self, cluster):
+        model = LfsModel(cluster.topo)
+        model.inject_asymmetric_fault(5, 0, 0.1, victim_honours_lfs=True)
+        assert model.apply(5) is LfsOutcome.SIGNALED_AND_ACTED
+        assert not cluster.topo.links[5].up
+
+    def test_firmware_bug_keeps_lossy_link_up(self, cluster):
+        """The paper's case: NIC ignores LFS and keeps transmitting."""
+        model = LfsModel(cluster.topo)
+        model.inject_asymmetric_fault(5, 0, 0.1, victim_honours_lfs=False)
+        assert model.apply(5) is LfsOutcome.SIGNALED_BUT_IGNORED
+        assert cluster.topo.links[5].up
+        assert model.goodput_factor(5, 0) < 1.0
+        assert model.goodput_factor(5, 1) == 1.0  # clean direction
+
+    def test_asymmetry_detection(self, cluster):
+        model = LfsModel(cluster.topo)
+        st = model.inject_asymmetric_fault(3, 1, 0.2)
+        assert st.is_asymmetric()
+        st.degrade(0, 0.2)
+        assert not st.is_asymmetric()
+
+    def test_loss_fraction_validated(self, cluster):
+        model = LfsModel(cluster.topo)
+        with pytest.raises(ValueError):
+            model.inject_asymmetric_fault(1, 0, 1.5)
+
+    def test_goodput_penalty_superlinear(self, cluster):
+        model = LfsModel(cluster.topo)
+        model.inject_asymmetric_fault(7, 0, 0.5)
+        assert model.goodput_factor(7, 0) == pytest.approx(0.25)

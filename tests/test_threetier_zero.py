@@ -1,0 +1,187 @@
+"""Generic 3-tier builder, ZeRO traffic, reduce-scatter, report generator."""
+
+import pytest
+
+from repro import Cluster, DcnPlusSpec, HpnSpec
+from repro.collective import allreduce, reduce_scatter
+from repro.core.errors import CollectiveError, SpecError
+from repro.core.units import GB
+from repro.routing import Router, measured_complexity
+from repro.topos import (
+    ThreeTierSpec,
+    build_jupiter_like,
+    build_superpod_like,
+    build_threetier,
+    expected_cross_pod_complexity,
+    expected_intra_pod_complexity,
+    validate,
+)
+from repro.training import (
+    GPT3_175B,
+    ParallelismPlan,
+    Placement,
+    ZeroStage,
+    simulate_zero_sync,
+    zero_traffic,
+)
+
+
+class TestThreeTier:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return build_threetier(ThreeTierSpec(cores=4))
+
+    def test_validates(self, topo):
+        validate(topo)
+
+    def test_single_homed_rail_leaves(self, topo):
+        host = topo.hosts["pod0/seg0/host0"]
+        for nic in host.backend_nics():
+            wired = [p for p in nic.ports if topo.port(p).link_id is not None]
+            assert len(wired) == 1
+            leaf = topo.links[topo.port(wired[0]).link_id].other(host.name).node
+            assert topo.switches[leaf].rail == nic.rail
+
+    def test_multi_pod_needs_core(self):
+        with pytest.raises(SpecError):
+            ThreeTierSpec(pods=2, cores=0)
+
+    def test_measured_complexity_matches_closed_form_cross_pod(self, topo):
+        spec = topo.meta["spec"]
+        router = Router(topo, per_port_core_hash=False)
+        measured = measured_complexity(
+            topo, "pod0/seg0/host0", "pod1/seg0/host0", router=router
+        )
+        assert measured == expected_cross_pod_complexity(spec)
+
+    def test_measured_complexity_matches_closed_form_intra_pod(self, topo):
+        spec = topo.meta["spec"]
+        router = Router(topo, per_port_core_hash=False)
+        measured = measured_complexity(
+            topo, "pod0/seg0/host0", "pod0/seg1/host0", router=router
+        )
+        assert measured == expected_intra_pod_complexity(spec)
+
+    def test_superpod_like_has_three_hash_stages(self):
+        topo = build_superpod_like()
+        validate(topo)
+        spec = topo.meta["spec"]
+        router = Router(topo, per_port_core_hash=False)
+        measured = measured_complexity(
+            topo, "pod0/seg0/host0", "pod1/seg0/host0", router=router
+        )
+        # cross-pod flows multiply three+ fan-outs -- the Table 1 point
+        assert measured == expected_cross_pod_complexity(spec)
+        assert measured > spec.leaf_uplinks
+
+    def test_jupiter_like_two_stage(self):
+        topo = build_jupiter_like()
+        validate(topo)
+        spec = topo.meta["spec"]
+        router = Router(topo)
+        measured = measured_complexity(
+            topo, "pod0/seg0/host0", "pod0/seg1/host0", router=router
+        )
+        assert measured == expected_intra_pod_complexity(spec)
+
+    def test_hpn_search_space_is_smaller_at_equal_gpus(self):
+        """The Table 1 comparison, measured on built fabrics."""
+        from repro.topos import build_hpn
+
+        hpn = build_hpn(
+            HpnSpec(segments_per_pod=2, hosts_per_segment=4,
+                    backup_hosts_per_segment=0, aggs_per_plane=4)
+        )
+        sp = build_superpod_like()
+        hpn_paths = measured_complexity(hpn, "pod0/seg0/host0", "pod0/seg1/host0")
+        sp_paths = measured_complexity(
+            sp, "pod0/seg0/host0", "pod1/seg0/host0",
+            router=Router(sp, per_port_core_hash=False),
+        )
+        assert hpn_paths < sp_paths
+
+
+class TestReduceScatter:
+    @pytest.fixture(scope="class")
+    def comm(self):
+        cluster = Cluster.hpn(
+            HpnSpec(segments_per_pod=1, hosts_per_segment=4,
+                    backup_hosts_per_segment=0, aggs_per_plane=2)
+        )
+        return cluster.communicator([f"pod0/seg0/host{i}" for i in range(4)])
+
+    def test_half_the_allreduce_volume(self, comm):
+        rs = reduce_scatter(comm, GB)
+        ar = allreduce(comm, GB)
+        assert rs.seconds < ar.seconds
+
+    def test_size_validation(self, comm):
+        with pytest.raises(CollectiveError):
+            reduce_scatter(comm, 0)
+
+    def test_busbw_positive(self, comm):
+        assert reduce_scatter(comm, GB).busbw_gb_per_sec > 0
+
+
+class TestZero:
+    def test_traffic_volumes_by_stage(self):
+        plan = ParallelismPlan(tp=8, pp=8, dp=512)
+        none = zero_traffic(GPT3_175B, plan, ZeroStage.NONE)
+        s1 = zero_traffic(GPT3_175B, plan, ZeroStage.STAGE_1)
+        s3 = zero_traffic(GPT3_175B, plan, ZeroStage.STAGE_3)
+        # RS+AG together move the AllReduce volume
+        assert none.total_bytes == pytest.approx(2 * 5.47e9, rel=0.01)
+        assert s1.total_bytes == none.total_bytes
+        assert s3.param_gather_bytes == pytest.approx(2 * 5.47e9, rel=0.01)
+        assert s3.total_bytes > s1.total_bytes
+
+    def test_zero_sync_faster_on_hpn(self):
+        hpn = Cluster.hpn(
+            HpnSpec(segments_per_pod=1, hosts_per_segment=16,
+                    backup_hosts_per_segment=0, aggs_per_plane=8)
+        )
+        dcn = Cluster.dcnplus(
+            DcnPlusSpec(pods=1, segments_per_pod=4, hosts_per_segment=4)
+        )
+        plan = ParallelismPlan(tp=8, pp=2, dp=8)
+        h_hosts = [f"pod0/seg0/host{i}" for i in range(16)]
+        d_hosts = [f"pod0/seg{s}/host{i}" for s in range(4) for i in range(4)]
+        h = simulate_zero_sync(
+            hpn.communicator(h_hosts), Placement(plan=plan, hosts=h_hosts), GPT3_175B
+        )
+        d = simulate_zero_sync(
+            dcn.communicator(d_hosts), Placement(plan=plan, hosts=d_hosts), GPT3_175B
+        )
+        assert h < d
+
+    def test_dp1_has_no_sync(self):
+        cluster = Cluster.hpn(
+            HpnSpec(segments_per_pod=1, hosts_per_segment=2,
+                    backup_hosts_per_segment=0, aggs_per_plane=2)
+        )
+        hosts = [f"pod0/seg0/host{i}" for i in range(2)]
+        plan = ParallelismPlan(tp=8, pp=2, dp=1)
+        t = simulate_zero_sync(
+            cluster.communicator(hosts), Placement(plan=plan, hosts=hosts), GPT3_175B
+        )
+        assert t == 0.0
+
+
+class TestReport:
+    def test_generates_markdown(self):
+        from repro.analysis.report import ReportConfig, generate_report
+
+        cfg = ReportConfig(
+            hosts=4,
+            hpn_spec=HpnSpec(segments_per_pod=1, hosts_per_segment=4,
+                             backup_hosts_per_segment=0, aggs_per_plane=4),
+            dcn_spec=DcnPlusSpec(pods=1, segments_per_pod=2, hosts_per_segment=2),
+            allreduce_sizes=[64e6],
+            microbatches=8,
+        )
+        report = generate_report(cfg)
+        assert "# HPN reproduction report" in report
+        assert "Table 1" in report and "O(60)" in report
+        assert "Multi-AllReduce" in report
+        assert "samples/s" in report
+        assert "crashed: False" in report

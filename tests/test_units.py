@@ -1,0 +1,44 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.core import units
+
+
+def test_gbps_to_bytes_per_sec():
+    assert units.gbps_to_bytes_per_sec(8.0) == pytest.approx(1e9)
+
+
+def test_bytes_per_sec_roundtrip():
+    for gbps in (0.5, 200.0, 400.0, 51200.0):
+        assert units.bytes_per_sec_to_gbps(
+            units.gbps_to_bytes_per_sec(gbps)
+        ) == pytest.approx(gbps)
+
+
+def test_transfer_time_1gb_at_400g():
+    # 1 GB at 400 Gbps = 8/400 = 20 ms
+    assert units.transfer_time(units.GB, 400.0) == pytest.approx(0.02)
+
+
+def test_transfer_time_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        units.transfer_time(100, 0)
+    with pytest.raises(ValueError):
+        units.transfer_time(100, -5)
+
+
+def test_gb_per_sec_is_gbps_over_8():
+    assert units.gb_per_sec(400.0) == pytest.approx(50.0)
+
+
+def test_size_constants_are_decimal():
+    assert units.GB == 1_000_000_000
+    assert units.MB == 1_000_000
+    assert units.KIB == 1024
+    assert units.GIB == 1024 ** 3
+
+
+def test_time_constants():
+    assert units.HOUR == 60 * units.MINUTE
+    assert units.MS == pytest.approx(1e-3)

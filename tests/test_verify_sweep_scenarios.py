@@ -1,0 +1,151 @@
+"""Forwarding verifier, design sweeps, composite failure scenarios."""
+
+import pytest
+
+from repro import Cluster, HpnSpec, build_railonly, RailOnlySpec
+from repro.analysis import (
+    knee_point,
+    sweep_aggs_per_plane,
+    sweep_oversubscription,
+)
+from repro.reliability import (
+    FaultInjector,
+    cascading_flaps,
+    double_fault,
+    rolling_upgrade,
+    tor_crash_with_slow_replacement,
+)
+from repro.routing import Router, verify_forwarding
+from repro.training import LLAMA_7B, ParallelismPlan
+
+
+class TestForwardingVerifier:
+    def test_clean_hpn_verifies(self, hpn_small, hpn_router):
+        report = verify_forwarding(hpn_small, hpn_router, max_pairs=30)
+        assert report.ok
+        assert report.pairs_checked == 30
+        assert report.flows_walked == 30 * 2 * 4  # planes x sports
+        assert report.unreachable_pairs == 0
+
+    def test_clean_dcn_verifies(self, dcn_small, dcn_router):
+        report = verify_forwarding(dcn_small, dcn_router, max_pairs=30)
+        assert report.ok
+
+    def test_blackhole_detected_when_both_legs_die(self, hpn_mutable):
+        router = Router(hpn_mutable)
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        for pref in nic.ports:
+            hpn_mutable.set_link_state(hpn_mutable.port(pref).link_id, False)
+        report = verify_forwarding(hpn_mutable, router, max_pairs=10)
+        assert not report.ok
+        assert any(v.kind == "blackhole" for v in report.violations)
+
+    def test_railonly_unreachable_tolerated_when_expected(self, railonly_small):
+        router = Router(railonly_small)
+        # rail 0 pairs are reachable; the verifier on rail 0 passes
+        report = verify_forwarding(railonly_small, router, max_pairs=6)
+        assert report.ok
+
+    def test_partial_failure_keeps_verifying(self, hpn_mutable):
+        """Losing one leg is not a violation -- the other plane serves."""
+        router = Router(hpn_mutable)
+        nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
+        hpn_mutable.set_link_state(hpn_mutable.port(nic.ports[0]).link_id, False)
+        report = verify_forwarding(hpn_mutable, router, max_pairs=10)
+        assert report.ok
+
+
+class TestSweeps:
+    def test_oversubscription_tradeoff_shape(self):
+        """Section 7: more core uplinks = more cross-pod bandwidth but a
+        smaller pod. Both monotonicities must hold."""
+        points = sweep_oversubscription()
+        bw = [p.cross_pod_gbps_per_gpu for p in points]
+        pods = [p.gpus_per_pod for p in points]
+        assert bw == sorted(bw)
+        assert pods == sorted(pods, reverse=True)
+
+    def test_paper_design_point_is_in_the_sweep(self):
+        points = {p.value: p for p in sweep_oversubscription()}
+        paper = points[8.0]
+        assert paper.gpus_per_pod == 15360
+        assert paper.agg_core_oversubscription == pytest.approx(15.0)
+
+    def test_aggs_sweep_preserves_uplink_budget(self):
+        """The ToR's 60x400G uplink budget is a constant; plane width
+        only redistributes it."""
+        for p in sweep_aggs_per_plane():
+            assert p.path_diversity <= 60
+            assert p.gpus_per_pod == 15360
+
+    def test_aggs_sweep_fault_domains_grow_with_planes(self):
+        points = sweep_aggs_per_plane(counts=(15, 30, 60))
+        domains = [p.agg_fault_domains for p in points]
+        assert domains == [15, 30, 60]
+        # the link-disjoint pool itself is budget-fixed
+        assert all(p.path_diversity == 60 for p in points)
+
+    def test_knee_point_heuristic(self):
+        from repro.analysis import SweepPoint
+
+        def mk(v, m):
+            return SweepPoint(v, 0, 0, 0, 0, 0, m, 0)
+
+        # diminishing returns after the second point
+        pts = [mk(1, 0.0), mk(2, 10.0), mk(3, 11.0), mk(4, 11.5)]
+        knee = knee_point(pts, lambda p: p.cross_pod_gbps_per_gpu)
+        assert knee.value == 2
+        with pytest.raises(ValueError):
+            knee_point([], lambda p: 0.0)
+
+
+class TestScenarios:
+    @pytest.fixture()
+    def job(self):
+        cluster = Cluster.hpn(
+            HpnSpec(segments_per_pod=1, hosts_per_segment=8,
+                    backup_hosts_per_segment=0, aggs_per_plane=4)
+        )
+        hosts = cluster.place(8)
+        return cluster.train(
+            LLAMA_7B, ParallelismPlan(tp=8, pp=1, dp=8), hosts, microbatches=18
+        ), hosts
+
+    def test_rolling_upgrade_never_halts_dual_tor(self, job):
+        j, hosts = job
+        events = rolling_upgrade(j.topo, hosts[0], rail=0)
+        result = FaultInjector(j).run(events, duration=300.0)
+        assert not result.crashed
+        assert result.min_throughput(after=0.1) > 0
+
+    def test_cascading_flaps_survivable(self, job):
+        j, hosts = job
+        events = cascading_flaps(hosts[:3], rail=0)
+        result = FaultInjector(j).run(events, duration=120.0)
+        assert not result.crashed
+        base = result.timeline[0].samples_per_sec
+        assert result.timeline[-1].samples_per_sec == pytest.approx(base)
+
+    def test_slow_tor_replacement_rides_one_plane(self, job):
+        """Hours on one plane: degraded but alive (the paper's 8-month
+        no-single-point-failure record depends on this)."""
+        j, hosts = job
+        events = tor_crash_with_slow_replacement(
+            j.topo, hosts[0], rail=0, replacement_hours=2.0
+        )
+        result = FaultInjector(j).run(events, duration=3 * 3600.0)
+        assert not result.crashed
+        base = result.timeline[0].samples_per_sec
+        degraded = result.throughput_at(3600.0)
+        assert 0 < degraded < base
+
+    def test_double_fault_halts_then_recovers(self, job):
+        """Both legs of one NIC down: the only access pattern that
+        stops a dual-ToR job -- and repairing one leg restores it."""
+        j, hosts = job
+        events = double_fault(hosts[0], rail=0, first_at=10.0, second_at=20.0,
+                              repair_first=60.0, repair_second=90.0)
+        result = FaultInjector(j).run(events, duration=300.0)
+        assert not result.crashed  # 40s < timeout
+        assert result.throughput_at(30.0) == 0.0
+        assert result.throughput_at(200.0) > 0
