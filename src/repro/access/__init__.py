@@ -2,8 +2,8 @@
 
 from .arp import ArpEntry, HostArpAnnouncer, TorArpTable
 from .bgp import (
-    DEFAULT_CONVERGENCE_DELAY,
-    DEFAULT_DETECT_DELAY,
+    DEFAULT_CONVERGENCE_DELAY_S,
+    DEFAULT_DETECT_DELAY_S,
     FailoverTimeline,
 )
 from .bond import Bond
@@ -21,8 +21,8 @@ from .stacked import StackedPair, StackedTor, TorHealth, make_pair
 __all__ = [
     "ArpEntry",
     "Bond",
-    "DEFAULT_CONVERGENCE_DELAY",
-    "DEFAULT_DETECT_DELAY",
+    "DEFAULT_CONVERGENCE_DELAY_S",
+    "DEFAULT_DETECT_DELAY_S",
     "FailoverTimeline",
     "HostArpAnnouncer",
     "HostBondNegotiation",

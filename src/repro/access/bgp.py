@@ -5,9 +5,9 @@ advertised into BGP; the rest of the fabric prefers the longest prefix,
 so while both access legs are alive both ToRs attract traffic (ECMP in
 DCN+, plane-pinned in HPN). When an access link fails:
 
-1. the ToR detects the loss (LFS/BFD, ``detect_delay``);
+1. the ToR detects the loss (LFS/BFD, ``detect_delay_s``);
 2. it withdraws the /32, and the withdrawal propagates
-   (``convergence_delay``);
+   (``convergence_delay_s``);
 3. only the surviving ToR advertises the /32 -- every sender converges
    onto it.
 
@@ -25,8 +25,8 @@ from ..core.entities import Nic
 from ..core.topology import Topology
 
 #: defaults calibrated to production-style timers
-DEFAULT_DETECT_DELAY = 0.05     # link-fault signaling / BFD
-DEFAULT_CONVERGENCE_DELAY = 0.5  # /32 withdrawal propagation
+DEFAULT_DETECT_DELAY_S = 0.05     # link-fault signaling / BFD
+DEFAULT_CONVERGENCE_DELAY_S = 0.5  # /32 withdrawal propagation
 
 
 @dataclass
@@ -43,8 +43,8 @@ class FailoverTimeline:
     """Tracks /32 advertisements per access leg over simulated time."""
 
     topo: Topology
-    detect_delay: float = DEFAULT_DETECT_DELAY
-    convergence_delay: float = DEFAULT_CONVERGENCE_DELAY
+    detect_delay_s: float = DEFAULT_DETECT_DELAY_S
+    convergence_delay_s: float = DEFAULT_CONVERGENCE_DELAY_S
     #: (link_id) -> RouteState for the /32 riding that access link
     _state: Dict[int, RouteState] = field(default_factory=dict)
     log: List[Tuple[float, str]] = field(default_factory=list)
@@ -55,7 +55,7 @@ class FailoverTimeline:
     @property
     def blackhole_window(self) -> float:
         """Seconds a failed leg keeps attracting (and dropping) traffic."""
-        return self.detect_delay + self.convergence_delay
+        return self.detect_delay_s + self.convergence_delay_s
 
     # ------------------------------------------------------------------
     def fail_access_link(self, link_id: int, now: float) -> float:
@@ -70,7 +70,7 @@ class FailoverTimeline:
     def recover_access_link(self, link_id: int, now: float) -> float:
         """Link repaired; /32 re-advertised after convergence."""
         state = self._ensure(link_id)
-        done = now + self.convergence_delay
+        done = now + self.convergence_delay_s
         state.advertised = True
         state.transition_at = done
         self.log.append((now, f"link {link_id} up, /32 restored by {done:.3f}"))

@@ -17,7 +17,7 @@ from ..core.topology import Topology
 from ..routing.hashing import FiveTuple, hash_five_tuple
 
 #: default miimon-style detection latency for a member-link failure
-DEFAULT_MII_DELAY = 0.1
+DEFAULT_MII_DELAY_S = 0.1
 
 
 @dataclass
@@ -26,7 +26,7 @@ class Bond:
 
     topo: Topology
     nic: Nic
-    mii_delay: float = DEFAULT_MII_DELAY
+    mii_delay_s: float = DEFAULT_MII_DELAY_S
     #: failure times per member port (None = healthy), set by injector
     member_down_since: List[Optional[float]] = field(default_factory=lambda: [None, None])
 
@@ -40,7 +40,7 @@ class Bond:
     def member_usable(self, idx: int, now: float) -> bool:
         """Whether the bond *believes* member ``idx`` is usable at ``now``.
 
-        A dead member keeps receiving traffic for ``mii_delay`` seconds
+        A dead member keeps receiving traffic for ``mii_delay_s`` seconds
         until detection kicks in.
         """
         if self._member_link_up(idx):
@@ -49,7 +49,7 @@ class Bond:
         if since is None:
             # link is down but the bond was never told: treat as fresh
             return False
-        return now < since + self.mii_delay
+        return now < since + self.mii_delay_s
 
     def notice_failure(self, idx: int, now: float) -> None:
         self.member_down_since[idx] = now

@@ -30,7 +30,6 @@ from .topos import (
     HpnSpec,
     SingleTorSpec,
     table1_cards,
-    validate as validate_topology,
 )
 from .viz import render_oversubscription, render_summary, render_tiers
 
@@ -77,40 +76,101 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_validate_text(report, topo) -> None:
+    """Classic staged text output over the collecting report."""
+    from .staticcheck import Severity
+
+    print(render_summary(topo))
+    errors = report.errors
+    invariant = [d for d in errors if d.rule_id.startswith("TOPO")]
+    wiring = [d for d in errors if d.rule_id.startswith("WIRE")]
+    forwarding = [d for d in errors if d.rule_id.startswith("FWD")]
+    if invariant:
+        print(f"INVARIANT VIOLATIONS ({len(invariant)}):")
+        for d in invariant:
+            print(f"  {d.render()}")
+    if wiring:
+        print(f"WIRING FAULTS ({len(wiring)}):")
+        for d in wiring:
+            print(f"  {d.render()}")
+    if forwarding:
+        print(f"FORWARDING VIOLATIONS ({len(forwarding)}):")
+        for d in forwarding[:10]:
+            print(f"  {d.render()}")
+        if len(forwarding) > 10:
+            print(f"  ... and {len(forwarding) - 10} more")
+    warnings = report.warnings
+    if warnings:
+        print(f"WARNINGS ({len(warnings)}):")
+        for d in warnings:
+            print(f"  {d.render()}")
+    if not errors:
+        flows = report.stats.get("fwd_flows_walked", 0)
+        print(
+            "all invariants hold; wiring matches the blueprint; "
+            f"{flows} probe flows delivered loop-free"
+        )
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     if args.input:
-        topo = load_topology(args.input)
+        try:
+            topo = load_topology(args.input)
+        except OSError as exc:
+            print(f"error: cannot read topology {args.input!r}: {exc}",
+                  file=sys.stderr)
+            return 2
     else:
         topo = _build_cluster(args).topo
-    from .core.errors import TopologyError
-    from .routing import verify_forwarding
-    from .telemetry import verify_wiring
+    from .staticcheck import run_topology_rules
 
-    try:
-        validate_topology(topo)
-    except TopologyError as exc:
-        print(render_summary(topo))
-        print(f"INVARIANT VIOLATION: {exc}")
-        return 1
+    fwd_kwargs = {"max_pairs": args.probe_pairs}
+    if args.all:
+        # one exhaustive pass: structural rules + wiring sweep +
+        # forwarding walks, every diagnostic collected in one report
+        report = run_topology_rules(
+            topo, include_expensive=True, forwarding_kwargs=fwd_kwargs
+        )
+    else:
+        # staged classic behavior: cheap structural rules gate the
+        # expensive blueprint/forwarding analyses
+        report = run_topology_rules(topo)
+        if report.ok:
+            report = run_topology_rules(
+                topo, include_expensive=True, forwarding_kwargs=fwd_kwargs
+            )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        _print_validate_text(report, topo)
+    return report.exit_code(strict=args.strict)
 
-    faults = verify_wiring(topo)
-    print(render_summary(topo))
-    if faults:
-        print(f"WIRING FAULTS ({len(faults)}):")
-        for fault in faults:
-            print(f"  {fault.detail}")
-        return 1
-    fwd = verify_forwarding(topo, max_pairs=args.probe_pairs)
-    if not fwd.ok:
-        print(f"FORWARDING VIOLATIONS ({len(fwd.violations)}):")
-        for v in fwd.violations[:10]:
-            print(f"  [{v.kind}] {v.src} -> {v.dst}: {v.detail}")
-        return 1
-    print(
-        "all invariants hold; wiring matches the blueprint; "
-        f"{fwd.flows_walked} probe flows delivered loop-free"
-    )
-    return 0
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .staticcheck import all_rules, lint_paths
+
+    if args.list_rules:
+        for info in all_rules():
+            print(f"{info.rule_id:<9} {info.severity.value:<8} {info.title}"
+                  f"{'  [expensive]' if info.expensive else ''}")
+        return 0
+    rule_ids = None
+    if args.rules:
+        from .staticcheck import AST_RULES
+
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = sorted(set(rule_ids) - set(AST_RULES))
+        if unknown:
+            known = ", ".join(sorted(AST_RULES))
+            print(f"error: unknown lint rule id(s): {', '.join(unknown)} "
+                  f"(known: {known})", file=sys.stderr)
+            return 2
+    report = lint_paths(args.paths, rule_ids=rule_ids)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code(strict=args.strict)
 
 
 def cmd_complexity(_args: argparse.Namespace) -> int:
@@ -179,7 +239,24 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", "-i", help="load a topology JSON instead of building")
     p.add_argument("--probe-pairs", type=int, default=32,
                    help="host pairs to probe in the forwarding check")
+    p.add_argument("--all", action="store_true",
+                   help="run every analyzer family in one pass and report "
+                        "all diagnostics (no staged early exit)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also fail the gate")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("lint", help="run codebase AST lint rules (LINT*)")
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also fail the gate")
+    p.add_argument("--rules", help="comma-separated rule ids to run")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the full rule catalogue and exit")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("complexity", help="print Table 1")
     p.set_defaults(func=cmd_complexity)

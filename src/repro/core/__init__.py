@@ -26,7 +26,9 @@ from .serialize import (
     load_topology,
     save_topology,
     topology_from_dict,
+    topology_from_json,
     topology_to_dict,
+    topology_to_json,
 )
 from .topology import Topology
 
@@ -34,7 +36,9 @@ __all__ = [
     "load_topology",
     "save_topology",
     "topology_from_dict",
+    "topology_from_json",
     "topology_to_dict",
+    "topology_to_json",
     "Gpu",
     "Host",
     "Link",

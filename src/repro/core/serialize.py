@@ -180,6 +180,16 @@ def topology_from_dict(data: Dict[str, Any]) -> Topology:
     return topo
 
 
+def topology_to_json(topo: Topology) -> str:
+    """Serialize a topology to a JSON string."""
+    return json.dumps(topology_to_dict(topo))
+
+
+def topology_from_json(text: str) -> Topology:
+    """Rebuild a topology from :func:`topology_to_json` output."""
+    return topology_from_dict(json.loads(text))
+
+
 def save_topology(topo: Topology, path: str) -> None:
     """Write a topology to a JSON file."""
     with open(path, "w") as fh:

@@ -8,7 +8,7 @@ from .failures import (
     tor_crash_scenario,
 )
 from .injector import (
-    DEFAULT_CRASH_TIMEOUT,
+    DEFAULT_CRASH_TIMEOUT_S,
     DEFAULT_RECONNECT_STALL,
     FaultInjector,
     InjectionResult,
@@ -51,7 +51,7 @@ __all__ = [
     "MonthOutcome",
     "expected_crash_free_months",
     "DAILY_FLAP_RANGE",
-    "DEFAULT_CRASH_TIMEOUT",
+    "DEFAULT_CRASH_TIMEOUT_S",
     "DEFAULT_RECONNECT_STALL",
     "FaultEvent",
     "FaultInjector",

@@ -23,7 +23,7 @@ from ..training.job import TrainingJob
 from .failures import FaultEvent, FaultKind
 
 #: NCCL-style communicator timeout: outages longer than this crash the job
-DEFAULT_CRASH_TIMEOUT = 120.0
+DEFAULT_CRASH_TIMEOUT_S = 120.0
 #: stall after a surviving single-ToR link returns (reconnect storm)
 DEFAULT_RECONNECT_STALL = 9.0
 #: BGP /32 withdrawal + propagation window (dual-ToR failover)
@@ -63,7 +63,7 @@ class FaultInjector:
     """Replays fault events against one training job."""
 
     job: TrainingJob
-    crash_timeout: float = DEFAULT_CRASH_TIMEOUT
+    crash_timeout_s: float = DEFAULT_CRASH_TIMEOUT_S
     reconnect_stall: float = DEFAULT_RECONNECT_STALL
     convergence: float = DEFAULT_CONVERGENCE
 
@@ -114,9 +114,9 @@ class FaultInjector:
                 topo.set_link_state(link, up=True)
                 if outage_since is not None:
                     outage = event.time - outage_since
-                    if outage > self.crash_timeout:
+                    if outage > self.crash_timeout_s:
                         crashed = True
-                        crash_time = outage_since + self.crash_timeout
+                        crash_time = outage_since + self.crash_timeout_s
                         timeline.append(
                             TimelinePoint(crash_time, 0.0, "crashed (timeout)")
                         )
@@ -141,9 +141,9 @@ class FaultInjector:
                 throughput("tor restored", event.time + self.convergence)
 
         if not crashed and outage_since is not None:
-            if duration - outage_since > self.crash_timeout:
+            if duration - outage_since > self.crash_timeout_s:
                 crashed = True
-                crash_time = outage_since + self.crash_timeout
+                crash_time = outage_since + self.crash_timeout_s
                 timeline.append(TimelinePoint(crash_time, 0.0, "crashed (timeout)"))
         return InjectionResult(timeline, crashed, crash_time)
 

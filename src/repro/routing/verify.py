@@ -27,6 +27,14 @@ from .hashing import FiveTuple
 #: host-tor-agg-core-agg-tor-host
 MAX_DIAMETER_HOPS = 6
 
+#: staticcheck rule id for each violation kind (shared diagnostic model)
+VIOLATION_RULE_IDS = {
+    "loop": "FWD001",
+    "blackhole": "FWD002",
+    "diameter": "FWD003",
+    "plane-leak": "FWD004",
+}
+
 
 @dataclass
 class ForwardingViolation:
@@ -34,6 +42,10 @@ class ForwardingViolation:
     src: str
     dst: str
     detail: str
+
+    @property
+    def rule_id(self) -> str:
+        return VIOLATION_RULE_IDS.get(self.kind, "FWD000")
 
 
 @dataclass
@@ -46,6 +58,29 @@ class ForwardingReport:
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    def to_diagnostics(self):
+        """Project the walk results into ``repro.staticcheck`` diagnostics.
+
+        Returns a :class:`repro.staticcheck.Report` so forwarding
+        verification composes with the topology analyzers in one gate.
+        """
+        from ..staticcheck import Diagnostic, Location, Report, Severity
+
+        report = Report()
+        report.stats["pairs_checked"] = self.pairs_checked
+        report.stats["flows_walked"] = self.flows_walked
+        report.stats["unreachable_pairs"] = self.unreachable_pairs
+        for v in self.violations:
+            report.add(
+                Diagnostic(
+                    rule_id=v.rule_id,
+                    severity=Severity.ERROR,
+                    message=f"{v.src} -> {v.dst}: {v.detail}",
+                    location=Location(obj=f"{v.src}->{v.dst}"),
+                )
+            )
+        return report
 
 
 def verify_forwarding(

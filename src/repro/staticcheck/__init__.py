@@ -1,0 +1,83 @@
+"""Unified static-analysis layer.
+
+Two analyzer families behind one registry and one diagnostic model:
+
+* **topology/config rules** (``TOPO*``/``WIRE*``/``FWD*``) -- collecting
+  invariant checks over a live or serialized
+  :class:`~repro.core.topology.Topology`;
+* **codebase lint rules** (``LINT*``) -- AST hygiene checks over the
+  simulator's own sources.
+
+Entry points: :func:`analyze_topology`, :func:`lint_paths`, and the CLI
+commands ``repro validate --all`` / ``repro lint``. See
+``docs/static_analysis.md`` for the rule catalogue and suppression
+syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from ..core.serialize import load_topology, topology_from_dict
+from ..core.topology import Topology
+from .ast_rules import LintRule, lint_paths, lint_source
+from .diagnostics import Diagnostic, Location, Report, Severity
+from .registry import (
+    AST_RULES,
+    TOPOLOGY_RULES,
+    RuleInfo,
+    RuleRegistrationError,
+    all_rules,
+    get_rule,
+    lint_rule,
+    topology_rule,
+)
+from .topo_rules import TopoContext, resolve_spec, run_topology_rules
+
+
+def analyze_topology(
+    topo: Union[Topology, Dict, str],
+    include_expensive: bool = False,
+    rule_ids: Optional[Sequence[str]] = None,
+    forwarding_kwargs: Optional[Dict[str, object]] = None,
+) -> Report:
+    """Run the topology analyzers over a live or serialized fabric.
+
+    ``topo`` may be a :class:`Topology`, a dict produced by
+    :func:`repro.core.serialize.topology_to_dict`, or a path to a
+    topology JSON file. ``include_expensive=True`` adds the blueprint
+    wiring sweep and the forwarding walks (``WIRE*``/``FWD*``).
+    """
+    if isinstance(topo, str):
+        topo = load_topology(topo)
+    elif isinstance(topo, dict):
+        topo = topology_from_dict(topo)
+    return run_topology_rules(
+        topo,
+        rule_ids=rule_ids,
+        include_expensive=include_expensive,
+        forwarding_kwargs=forwarding_kwargs,
+    )
+
+
+__all__ = [
+    "AST_RULES",
+    "TOPOLOGY_RULES",
+    "Diagnostic",
+    "LintRule",
+    "Location",
+    "Report",
+    "RuleInfo",
+    "RuleRegistrationError",
+    "Severity",
+    "TopoContext",
+    "all_rules",
+    "analyze_topology",
+    "get_rule",
+    "lint_paths",
+    "lint_rule",
+    "lint_source",
+    "resolve_spec",
+    "run_topology_rules",
+    "topology_rule",
+]

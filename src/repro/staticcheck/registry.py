@@ -1,0 +1,121 @@
+"""Rule registry shared by both analyzer families.
+
+Every analyzer -- topology/config rules and codebase AST lint rules --
+registers itself here under a stable rule id, so the CLI, the docs and
+the test suite can enumerate one catalogue. Topology rules are plain
+functions ``fn(ctx)`` decorated with :func:`topology_rule`; lint rules
+are :class:`~repro.staticcheck.ast_rules.LintRule` subclasses decorated
+with :func:`lint_rule`.
+
+Rule ids are namespaced by family:
+
+* ``TOPO###`` -- structural topology invariants (cheap, always run);
+* ``WIRE###`` / ``FWD###`` -- deep wiring/forwarding analyses (sampled
+  walks; run by ``validate --all`` or on request);
+* ``LINT###`` -- codebase AST hygiene rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Catalogue entry for one rule."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    kind: str  # "topology" | "ast"
+    #: architectures the rule applies to; None means every architecture
+    architectures: Optional[frozenset] = None
+    #: expensive rules (flow walks) only run when explicitly requested
+    expensive: bool = False
+
+    def applies_to(self, architecture: Optional[str]) -> bool:
+        if self.architectures is None:
+            return True
+        return architecture in self.architectures
+
+
+@dataclass
+class RegisteredRule:
+    info: RuleInfo
+    impl: Callable = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+TOPOLOGY_RULES: Dict[str, RegisteredRule] = {}
+AST_RULES: Dict[str, RegisteredRule] = {}
+
+
+class RuleRegistrationError(Exception):
+    """A rule id was registered twice or malformed."""
+
+
+def _register(
+    table: Dict[str, RegisteredRule], info: RuleInfo, impl: Callable
+) -> Callable:
+    if info.rule_id in table:
+        raise RuleRegistrationError(f"duplicate rule id {info.rule_id!r}")
+    table[info.rule_id] = RegisteredRule(info=info, impl=impl)
+    return impl
+
+
+def topology_rule(
+    rule_id: str,
+    title: str,
+    severity: Severity = Severity.ERROR,
+    architectures: Optional[Sequence[str]] = None,
+    expensive: bool = False,
+) -> Callable:
+    """Register ``fn(ctx)`` as a collecting topology rule."""
+
+    def deco(fn: Callable) -> Callable:
+        info = RuleInfo(
+            rule_id=rule_id,
+            title=title,
+            severity=severity,
+            kind="topology",
+            architectures=(
+                frozenset(architectures) if architectures is not None else None
+            ),
+            expensive=expensive,
+        )
+        return _register(TOPOLOGY_RULES, info, fn)
+
+    return deco
+
+
+def lint_rule(
+    rule_id: str, title: str, severity: Severity = Severity.ERROR
+) -> Callable:
+    """Register a :class:`LintRule` subclass."""
+
+    def deco(cls: type) -> type:
+        info = RuleInfo(
+            rule_id=rule_id, title=title, severity=severity, kind="ast"
+        )
+        cls.info = info
+        _register(AST_RULES, info, cls)
+        return cls
+
+    return deco
+
+
+def all_rules() -> List[RuleInfo]:
+    """The full catalogue, topology rules first, sorted by id."""
+    infos = [r.info for r in TOPOLOGY_RULES.values()]
+    infos += [r.info for r in AST_RULES.values()]
+    return sorted(infos, key=lambda i: (i.kind != "topology", i.rule_id))
+
+
+def get_rule(rule_id: str) -> RegisteredRule:
+    if rule_id in TOPOLOGY_RULES:
+        return TOPOLOGY_RULES[rule_id]
+    if rule_id in AST_RULES:
+        return AST_RULES[rule_id]
+    raise KeyError(f"unknown rule {rule_id!r}")

@@ -1,0 +1,525 @@
+"""Collecting topology/config analyzers.
+
+Every structural invariant the library used to enforce with raise-first
+checks in :mod:`repro.topos.validate` lives here as a *collecting* rule,
+joined by new static invariants (tier-3 oversubscription, per-switch
+port budgets, addressing uniqueness, LACP bond symmetry, uplink-mesh
+completeness) and by the deep wiring/forwarding analyses from
+:mod:`repro.telemetry` and :mod:`repro.routing.verify`.
+
+Rules run against a live :class:`~repro.core.topology.Topology`; a
+serialized one (``core.serialize``) is rebuilt first, including its
+builder spec, so the same gate covers fabrics loaded from JSON.
+
+Suppression: ``topo.meta["suppress"] = ["TOPO006", ...]`` records a
+finding but keeps it out of ``Report.ok`` and the exit code.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.entities import PortKind, SwitchRole
+from ..core.topology import Topology
+from .diagnostics import Diagnostic, Location, Report, Severity
+from .registry import TOPOLOGY_RULES, topology_rule
+
+#: architectures that intentionally single-home their NICs
+SINGLE_HOMED_ARCHS = ("singletor", "fattree", "threetier")
+
+#: relative tolerance for capacity-ratio comparisons
+RATIO_TOLERANCE = 0.01
+
+
+def resolve_spec(topo: Topology) -> Optional[object]:
+    """The builder spec from ``topo.meta``, live or reconstructed.
+
+    Serialization stores specs as ``{"type": name, "fields": {...}}``;
+    rebuild the frozen dataclass so spec-aware rules work on loaded
+    fabrics too. Returns None when no (known) spec is recorded.
+    """
+    raw = topo.meta.get("spec")
+    if raw is None:
+        return None
+    if isinstance(raw, dict):
+        type_name = raw.get("type")
+        fields = raw.get("fields")
+        if not isinstance(type_name, str) or not isinstance(fields, dict):
+            return None
+        from ..topos import spec as spec_module
+
+        cls = getattr(spec_module, type_name, None)
+        if cls is None:
+            return None
+        try:
+            return cls(**fields)
+        except Exception:
+            return None
+    return raw
+
+
+@dataclass
+class TopoContext:
+    """Everything a topology rule needs, plus the collecting report."""
+
+    topo: Topology
+    arch: Optional[str]
+    spec: Optional[object]
+    report: Report
+    suppress: frozenset = frozenset()
+    #: scratch shared between rules (e.g. one forwarding walk, four rules)
+    cache: Dict[str, object] = field(default_factory=dict)
+
+    def emit(
+        self,
+        rule_id: str,
+        message: str,
+        obj: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        info = TOPOLOGY_RULES[rule_id].info
+        return self.report.add(
+            Diagnostic(
+                rule_id=rule_id,
+                severity=severity or info.severity,
+                message=message,
+                location=Location(obj=obj),
+                suppressed=rule_id in self.suppress,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# structural rules (refactored from topos/validate.py)
+# ----------------------------------------------------------------------
+@topology_rule("TOPO001", "link consistency", Severity.ERROR)
+def rule_link_consistency(ctx: TopoContext) -> None:
+    """Every link references two existing, mutually wired ports."""
+    topo = ctx.topo
+    for link in topo.links.values():
+        for ref in link.endpoints():
+            if not topo.has_node(ref.node) or ref.index >= len(topo.ports[ref.node]):
+                ctx.emit(
+                    "TOPO001",
+                    f"link {link.link_id} references unknown port {ref}",
+                    obj=str(ref),
+                )
+                continue
+            port = topo.port(ref)
+            if port.link_id != link.link_id:
+                ctx.emit(
+                    "TOPO001",
+                    f"port {ref} does not point back at link {link.link_id}",
+                    obj=str(ref),
+                )
+
+
+def _nic_tors(topo: Topology, host_name: str, nic) -> List[str]:
+    """Distinct ToR names reached by a NIC's wired ports, in port order."""
+    tors: List[str] = []
+    for pref in nic.ports:
+        port = topo.port(pref)
+        if port.link_id is None:
+            continue
+        peer = topo.links[port.link_id].other(host_name).node
+        if peer not in tors:
+            tors.append(peer)
+    return tors
+
+
+@topology_rule("TOPO002", "dual-ToR access", Severity.ERROR)
+def rule_dual_tor(ctx: TopoContext) -> None:
+    """Each wired dual-port backend NIC reaches two distinct ToRs."""
+    if ctx.arch in SINGLE_HOMED_ARCHS:
+        return
+    for host in ctx.topo.hosts.values():
+        for nic in host.backend_nics():
+            tors = _nic_tors(ctx.topo, host.name, nic)
+            if len(tors) not in (0, 2):
+                reached = ", ".join(tors) if tors else "none"
+                ctx.emit(
+                    "TOPO002",
+                    f"{nic.name} reaches {len(tors)} ToR(s) [{reached}], "
+                    "expected 2 distinct (dual-ToR)",
+                    obj=nic.name,
+                )
+
+
+@topology_rule("TOPO003", "dual-plane isolation", Severity.ERROR,
+               architectures=("hpn",))
+def rule_dual_plane(ctx: TopoContext) -> None:
+    """No link crosses planes above tier 1; NIC port k lands in plane k."""
+    topo = ctx.topo
+    for link in topo.links.values():
+        a, b = link.a.node, link.b.node
+        if a in topo.switches and b in topo.switches:
+            pa, pb = topo.switches[a].plane, topo.switches[b].plane
+            if pa is not None and pb is not None and pa != pb:
+                ctx.emit(
+                    "TOPO003",
+                    f"cross-plane link {a} (plane {pa}) <-> {b} (plane {pb})",
+                    obj=f"link{link.link_id}",
+                )
+    for host in topo.hosts.values():
+        for nic in host.backend_nics():
+            for plane_idx, pref in enumerate(nic.ports):
+                port = topo.port(pref)
+                if port.link_id is None:
+                    continue
+                tor = topo.links[port.link_id].other(host.name).node
+                actual = topo.switches[tor].plane
+                if actual != plane_idx:
+                    ctx.emit(
+                        "TOPO003",
+                        f"{nic.name} port {plane_idx} lands in plane {actual} "
+                        f"(via {tor})",
+                        obj=nic.name,
+                    )
+
+
+@topology_rule("TOPO004", "rail-optimized wiring", Severity.ERROR,
+               architectures=("hpn",))
+def rule_rail_optimized(ctx: TopoContext) -> None:
+    """Within a segment, NICs of rail r across hosts share the same ToRs."""
+    topo = ctx.topo
+    by_seg_rail: Dict[tuple, set] = defaultdict(set)
+    for host in topo.hosts.values():
+        for nic in host.backend_nics():
+            tors = frozenset(_nic_tors(topo, host.name, nic))
+            if tors:
+                by_seg_rail[(host.pod, host.segment, nic.rail)].add(tors)
+    for (pod, segment, rail), torsets in sorted(by_seg_rail.items()):
+        if len(torsets) != 1:
+            sets = " vs ".join(
+                "{" + ", ".join(sorted(ts)) + "}" for ts in sorted(torsets, key=sorted)
+            )
+            ctx.emit(
+                "TOPO004",
+                f"rail {rail} of pod{pod}/seg{segment} is served by "
+                f"{len(torsets)} ToR sets: {sets}",
+                obj=f"pod{pod}/seg{segment}/rail{rail}",
+            )
+
+
+@topology_rule("TOPO005", "rail isolation", Severity.ERROR,
+               architectures=("railonly",))
+def rule_rail_isolation(ctx: TopoContext) -> None:
+    """Rail-only: aggregation planes never mix rails."""
+    topo = ctx.topo
+    for link in topo.links.values():
+        a, b = link.a.node, link.b.node
+        if a in topo.switches and b in topo.switches:
+            ra, rb = topo.switches[a].rail, topo.switches[b].rail
+            if ra is not None and rb is not None and ra != rb:
+                ctx.emit(
+                    "TOPO005",
+                    f"cross-rail link {a} (rail {ra}) <-> {b} (rail {rb})",
+                    obj=f"link{link.link_id}",
+                )
+
+
+# ----------------------------------------------------------------------
+# new static invariants
+# ----------------------------------------------------------------------
+@topology_rule("TOPO006", "tier-3 oversubscription", Severity.WARNING,
+               architectures=("hpn",))
+def rule_tier3_oversubscription(ctx: TopoContext) -> None:
+    """Each agg switch's down:up ratio matches the spec (paper: 15:1)."""
+    spec = ctx.spec
+    if spec is None or not getattr(spec, "cores_per_plane", 0):
+        return
+    expected = spec.agg_core_oversubscription
+    for sw in ctx.topo.switches_by_role(SwitchRole.AGG):
+        down = sum(p.gbps for p in ctx.topo.down_ports(sw.name))
+        up = sum(p.gbps for p in ctx.topo.up_ports(sw.name))
+        if up == 0:
+            ctx.emit(
+                "TOPO006",
+                f"{sw.name} has no core uplinks but the spec provisions "
+                f"{spec.agg_core_uplinks}",
+                obj=sw.name,
+            )
+            continue
+        ratio = down / up
+        if abs(ratio - expected) > RATIO_TOLERANCE * expected:
+            ctx.emit(
+                "TOPO006",
+                f"{sw.name} oversubscription {ratio:.2f}:1 deviates from "
+                f"spec {expected:.2f}:1",
+                obj=sw.name,
+            )
+
+
+@topology_rule("TOPO007", "port budget", Severity.ERROR)
+def rule_port_budget(ctx: TopoContext) -> None:
+    """Connected port capacity never exceeds the switch chip; ToR port
+    counts stay within the segment budget derived from the spec."""
+    topo = ctx.topo
+    for sw in topo.switches.values():
+        wired = sum(p.gbps for p in topo.ports[sw.name] if p.connected)
+        if wired > sw.chip_gbps * (1 + 1e-9):
+            ctx.emit(
+                "TOPO007",
+                f"{sw.name} wires {wired:.0f} Gbps across its ports but the "
+                f"chip provides {sw.chip_gbps:.0f} Gbps",
+                obj=sw.name,
+            )
+    spec = ctx.spec
+    tor_down = getattr(spec, "tor_downlinks", None)
+    tor_up = getattr(spec, "tor_uplinks", None)
+    if tor_down is None and tor_up is None:
+        return
+    for sw in topo.switches_by_role(SwitchRole.TOR):
+        n_down = len(topo.down_ports(sw.name))
+        n_up = len(topo.up_ports(sw.name))
+        if tor_down is not None and n_down > tor_down:
+            ctx.emit(
+                "TOPO007",
+                f"{sw.name} has {n_down} downlinks, segment budget is {tor_down}",
+                obj=sw.name,
+            )
+        if tor_up is not None and n_up > tor_up:
+            ctx.emit(
+                "TOPO007",
+                f"{sw.name} has {n_up} uplinks, spec budget is {tor_up}",
+                obj=sw.name,
+            )
+
+
+@topology_rule("TOPO008", "addressing uniqueness", Severity.ERROR)
+def rule_addressing_unique(ctx: TopoContext) -> None:
+    """No two NICs share an IP; no two NICs share a MAC."""
+    by_ip: Dict[str, List[str]] = defaultdict(list)
+    by_mac: Dict[str, List[str]] = defaultdict(list)
+    for host in ctx.topo.hosts.values():
+        for nic in host.nics:
+            if nic.ip is not None:
+                by_ip[nic.ip].append(nic.name)
+            if nic.mac is not None:
+                by_mac[nic.mac].append(nic.name)
+    for ip, nics in sorted(by_ip.items()):
+        if len(nics) > 1:
+            ctx.emit(
+                "TOPO008",
+                f"IP {ip} assigned to {len(nics)} NICs: {', '.join(nics)}",
+                obj=nics[0],
+            )
+    for mac, nics in sorted(by_mac.items()):
+        if len(nics) > 1:
+            ctx.emit(
+                "TOPO008",
+                f"MAC {mac} assigned to {len(nics)} NICs: {', '.join(nics)}",
+                obj=nics[0],
+            )
+
+
+@topology_rule("TOPO009", "LACP bond symmetry", Severity.ERROR)
+def rule_bond_symmetry(ctx: TopoContext) -> None:
+    """A NIC's two member links must be able to aggregate into one bond:
+    both wired, equal speed, and the non-stacked LACP negotiation with
+    its dual-ToR pair must bundle."""
+    if ctx.arch in SINGLE_HOMED_ARCHS:
+        return
+    from ..access.lacp import (
+        MAX_PHYSICAL_PORTS,
+        SwitchLacpActor,
+        configure_non_stacked_pair,
+        negotiate,
+    )
+
+    topo = ctx.topo
+    for host in topo.hosts.values():
+        for nic in host.nics:
+            wired = [
+                (i, topo.port(pref))
+                for i, pref in enumerate(nic.ports)
+                if topo.port(pref).link_id is not None
+            ]
+            if not wired:
+                continue
+            if len(wired) == 1 and len(nic.ports) > 1:
+                ctx.emit(
+                    "TOPO009",
+                    f"{nic.name} has only port {wired[0][0]} wired; the bond "
+                    "cannot aggregate a single member",
+                    obj=nic.name,
+                    severity=Severity.WARNING,
+                )
+                continue
+            speeds = {port.gbps for _, port in wired}
+            if len(speeds) > 1:
+                ctx.emit(
+                    "TOPO009",
+                    f"{nic.name} bond members run at different speeds: "
+                    f"{sorted(speeds)} Gbps",
+                    obj=nic.name,
+                )
+                continue
+            far = [topo.links[port.link_id].other(host.name) for _, port in wired]
+            peers = [ref.node for ref in far]
+            if len(set(peers)) != 2 or any(p not in topo.switches for p in peers):
+                continue  # single-/zero-ToR wiring is TOPO002's finding
+            if any(ref.index >= MAX_PHYSICAL_PORTS for ref in far):
+                ports = ", ".join(str(ref) for ref in far)
+                ctx.emit(
+                    "TOPO009",
+                    f"{nic.name} lands on physical port(s) beyond the "
+                    f"{MAX_PHYSICAL_PORTS}-port chip: {ports}",
+                    obj=nic.name,
+                )
+                continue
+            actor_a = SwitchLacpActor(peers[0], chassis_mac="02:00:00:00:00:aa")
+            actor_b = SwitchLacpActor(peers[1], chassis_mac="02:00:00:00:00:bb")
+            configure_non_stacked_pair(actor_a, actor_b)
+            nego = negotiate(far[0].index, far[1].index, actor_a, actor_b)
+            if not nego.aggregated:
+                ctx.emit(
+                    "TOPO009",
+                    f"{nic.name} LACP bundling across {peers[0]} + {peers[1]} "
+                    f"fails: {nego.failure_reason()}",
+                    obj=nic.name,
+                )
+
+
+@topology_rule("TOPO010", "aggregation uplink mesh", Severity.WARNING,
+               architectures=("hpn",))
+def rule_uplink_mesh(ctx: TopoContext) -> None:
+    """Each ToR reaches every agg of its plane (and only its plane)."""
+    topo = ctx.topo
+    spec = ctx.spec
+    planes: Dict[Optional[int], set] = defaultdict(set)
+    for sw in topo.switches_by_role(SwitchRole.AGG):
+        planes[sw.plane].add(sw.name)
+    for tor in topo.switches_by_role(SwitchRole.TOR):
+        peers = set()
+        for port in topo.up_ports(tor.name):
+            peers.add(topo.links[port.link_id].other(tor.name).node)
+        agg_peers = {p for p in peers if p in topo.switches}
+        foreign = sorted(
+            p for p in agg_peers if topo.switches[p].plane != tor.plane
+        )
+        if foreign:
+            ctx.emit(
+                "TOPO010",
+                f"{tor.name} (plane {tor.plane}) uplinks leave its plane via "
+                f"{', '.join(foreign)}",
+                obj=tor.name,
+                severity=Severity.ERROR,
+            )
+        expected = (
+            getattr(spec, "aggs_per_plane", None)
+            if spec is not None
+            else None
+        )
+        if expected is None:
+            expected = len(planes.get(tor.plane, ())) or None
+        in_plane = agg_peers - set(foreign)
+        if expected and len(in_plane) < expected:
+            ctx.emit(
+                "TOPO010",
+                f"{tor.name} reaches {len(in_plane)} of {expected} aggregation "
+                "switches in its plane (incomplete uplink mesh)",
+                obj=tor.name,
+            )
+
+
+# ----------------------------------------------------------------------
+# deep analyses (wiring blueprint + forwarding walks) -- expensive
+# ----------------------------------------------------------------------
+@topology_rule("WIRE001", "blueprint wiring", Severity.ERROR, expensive=True)
+def rule_blueprint_wiring(ctx: TopoContext) -> None:
+    """INT-style wiring sweep: every access leg terminates where the
+    rail-optimized blueprint says it should."""
+    from ..telemetry import verify_wiring
+
+    for fault in verify_wiring(ctx.topo):
+        ctx.emit("WIRE001", f"[{fault.kind}] {fault.detail}")
+
+
+def _forwarding_report(ctx: TopoContext):
+    if "forwarding" not in ctx.cache:
+        from ..routing.verify import verify_forwarding
+
+        kwargs = dict(ctx.cache.get("forwarding_kwargs", {}))
+        fwd = verify_forwarding(ctx.topo, **kwargs)
+        ctx.cache["forwarding"] = fwd
+        ctx.report.stats["fwd_pairs_checked"] = fwd.pairs_checked
+        ctx.report.stats["fwd_flows_walked"] = fwd.flows_walked
+        ctx.report.stats["fwd_unreachable_pairs"] = fwd.unreachable_pairs
+    return ctx.cache["forwarding"]
+
+
+def _emit_forwarding(ctx: TopoContext, rule_id: str, kind: str) -> None:
+    report = _forwarding_report(ctx)
+    for v in report.violations:
+        if v.kind == kind:
+            ctx.emit(
+                rule_id,
+                f"{v.src} -> {v.dst}: {v.detail}",
+                obj=f"{v.src}->{v.dst}",
+            )
+
+
+@topology_rule("FWD001", "forwarding loops", Severity.ERROR, expensive=True)
+def rule_forwarding_loops(ctx: TopoContext) -> None:
+    _emit_forwarding(ctx, "FWD001", "loop")
+
+
+@topology_rule("FWD002", "black holes", Severity.ERROR, expensive=True)
+def rule_black_holes(ctx: TopoContext) -> None:
+    _emit_forwarding(ctx, "FWD002", "blackhole")
+
+
+@topology_rule("FWD003", "diameter bound", Severity.ERROR, expensive=True)
+def rule_diameter(ctx: TopoContext) -> None:
+    _emit_forwarding(ctx, "FWD003", "diameter")
+
+
+@topology_rule("FWD004", "plane leakage", Severity.ERROR, expensive=True)
+def rule_plane_leak(ctx: TopoContext) -> None:
+    _emit_forwarding(ctx, "FWD004", "plane-leak")
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+def run_topology_rules(
+    topo: Topology,
+    rule_ids: Optional[Sequence[str]] = None,
+    include_expensive: bool = False,
+    forwarding_kwargs: Optional[Dict[str, object]] = None,
+) -> Report:
+    """Run the registered topology rules against ``topo``, collecting.
+
+    ``rule_ids`` restricts the run to an explicit subset (architecture
+    filtering still applies); ``include_expensive`` adds the wiring and
+    forwarding walks; ``forwarding_kwargs`` is forwarded to
+    :func:`repro.routing.verify.verify_forwarding` (``max_pairs``,
+    ``expect_reachable``...).
+    """
+    arch = topo.meta.get("architecture")
+    suppress = frozenset(topo.meta.get("suppress", ()) or ())
+    ctx = TopoContext(
+        topo=topo,
+        arch=arch if isinstance(arch, str) else None,
+        spec=resolve_spec(topo),
+        report=Report(),
+        suppress=suppress,
+    )
+    if forwarding_kwargs:
+        ctx.cache["forwarding_kwargs"] = dict(forwarding_kwargs)
+    wanted = set(rule_ids) if rule_ids is not None else None
+    for rid in sorted(TOPOLOGY_RULES):
+        rule = TOPOLOGY_RULES[rid]
+        if wanted is not None:
+            if rid not in wanted:
+                continue
+        elif rule.info.expensive and not include_expensive:
+            continue
+        if not rule.info.applies_to(ctx.arch):
+            continue
+        rule.impl(ctx)
+        ctx.report.bump("topology_rules_run")
+    return ctx.report

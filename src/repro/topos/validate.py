@@ -1,10 +1,11 @@
-"""Topology invariant checks.
+"""Topology invariant checks (thin wrappers over ``repro.staticcheck``).
 
-``validate(topo)`` runs every check appropriate for the architecture and
-raises :class:`~repro.core.errors.TopologyError` on the first violation.
-These are the properties the paper's design leans on; the test suite
-asserts them at production scale and hypothesis fuzzes them at random
-scales.
+The collecting analyzers live in :mod:`repro.staticcheck.topo_rules`;
+this module keeps the historical raise-on-first API: ``validate(topo)``
+runs every structural rule appropriate for the architecture and raises
+:class:`~repro.core.errors.TopologyError` on the first error-severity
+finding. Use :func:`repro.staticcheck.analyze_topology` (or the CLI's
+``repro validate --all``) to see *every* violation in one pass.
 """
 
 from __future__ import annotations
@@ -12,51 +13,47 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List
 
-from ..core.entities import PortKind, SwitchRole
+from ..core.entities import PortKind
 from ..core.errors import TopologyError
 from ..core.topology import Topology
 
 
+def _raise_first(topo: Topology, rule_ids: List[str]) -> None:
+    from ..staticcheck import run_topology_rules
+
+    report = run_topology_rules(topo, rule_ids=rule_ids)
+    errors = report.errors
+    if errors:
+        raise TopologyError(errors[0].message)
+
+
 def validate(topo: Topology) -> None:
-    """Run all structural invariants for ``topo``."""
-    check_links_consistent(topo)
-    check_dual_tor(topo)
-    arch = topo.meta.get("architecture")
-    if arch == "hpn":
-        check_dual_plane(topo)
-        check_rail_optimized(topo)
-    if arch == "railonly":
-        check_rail_isolation(topo)
+    """Run all structural invariants for ``topo``; raise on the first.
+
+    Thin wrapper over the collecting engine: every registered
+    non-expensive topology rule runs (architecture-filtered), and the
+    first error-severity diagnostic becomes a :class:`TopologyError`.
+    """
+    from ..staticcheck import run_topology_rules
+
+    report = run_topology_rules(topo)
+    errors = report.errors
+    if errors:
+        raise TopologyError(errors[0].message)
 
 
 def check_links_consistent(topo: Topology) -> None:
     """Every link references two existing, mutually wired ports."""
-    for link in topo.links.values():
-        for ref in link.endpoints():
-            port = topo.port(ref)
-            if port.link_id != link.link_id:
-                raise TopologyError(
-                    f"port {ref} does not point back at link {link.link_id}"
-                )
+    _raise_first(topo, ["TOPO001"])
 
 
 def check_dual_tor(topo: Topology) -> None:
-    """Each wired dual-port backend NIC reaches two distinct ToRs."""
-    arch = topo.meta.get("architecture")
-    if arch in ("singletor", "fattree", "threetier"):
-        return
-    for host in topo.hosts.values():
-        for nic in host.backend_nics():
-            tors = set()
-            for pref in nic.ports:
-                port = topo.port(pref)
-                if port.link_id is None:
-                    continue
-                tors.add(topo.links[port.link_id].other(host.name).node)
-            if len(tors) not in (0, 2):
-                raise TopologyError(
-                    f"{nic.name} reaches {len(tors)} ToRs, expected 2 (dual-ToR)"
-                )
+    """Each wired dual-port backend NIC reaches two distinct ToRs.
+
+    Error messages name the ToRs a violating NIC actually reaches, not
+    just the count, so an operator can walk to the right rack.
+    """
+    _raise_first(topo, ["TOPO002"])
 
 
 def check_dual_plane(topo: Topology) -> None:
@@ -65,52 +62,17 @@ def check_dual_plane(topo: Topology) -> None:
     This is the physical-isolation property behind Figure 12b: traffic
     entering plane 0 can only be delivered from plane 0.
     """
-    for link in topo.links.values():
-        a, b = link.a.node, link.b.node
-        if a in topo.switches and b in topo.switches:
-            pa, pb = topo.switches[a].plane, topo.switches[b].plane
-            if pa is not None and pb is not None and pa != pb:
-                raise TopologyError(f"cross-plane link {a} <-> {b}")
-    for host in topo.hosts.values():
-        for nic in host.backend_nics():
-            for plane_idx, pref in enumerate(nic.ports):
-                port = topo.port(pref)
-                if port.link_id is None:
-                    continue
-                tor = topo.links[port.link_id].other(host.name).node
-                actual = topo.switches[tor].plane
-                if actual != plane_idx:
-                    raise TopologyError(
-                        f"{nic.name} port {plane_idx} lands in plane {actual}"
-                    )
+    _raise_first(topo, ["TOPO003"])
 
 
 def check_rail_optimized(topo: Topology) -> None:
     """Within a segment, NICs of rail r across hosts share the same ToRs."""
-    by_seg_rail: Dict[tuple, set] = defaultdict(set)
-    for host in topo.hosts.values():
-        for nic in host.backend_nics():
-            tors = frozenset(
-                topo.links[topo.port(p).link_id].other(host.name).node
-                for p in nic.ports
-                if topo.port(p).link_id is not None
-            )
-            if tors:
-                by_seg_rail[(host.pod, host.segment, nic.rail)].add(tors)
-    for key, torsets in by_seg_rail.items():
-        if len(torsets) != 1:
-            raise TopologyError(f"rail {key} is served by multiple ToR sets")
+    _raise_first(topo, ["TOPO004"])
 
 
 def check_rail_isolation(topo: Topology) -> None:
     """Rail-only: aggregation planes never mix rails."""
-    for link in topo.links.values():
-        a, b = link.a.node, link.b.node
-        if a in topo.switches and b in topo.switches:
-            ra = topo.switches[a].rail
-            rb = topo.switches[b].rail
-            if ra is not None and rb is not None and ra != rb:
-                raise TopologyError(f"cross-rail link {a} <-> {b}")
+    _raise_first(topo, ["TOPO005"])
 
 
 def oversubscription_report(topo: Topology) -> Dict[str, float]:

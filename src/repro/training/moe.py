@@ -28,7 +28,8 @@ class MoeConfig:
     top_k: int = 2
     #: fraction of layers that are MoE layers
     moe_layer_fraction: float = 0.5
-    capacity_factor: float = 1.25
+    #: dimensionless expert-buffer multiplier (standard MoE terminology)
+    capacity_factor: float = 1.25  # repro: noqa[LINT004]
 
     @property
     def name(self) -> str:

@@ -149,7 +149,7 @@ class TestArp:
 
 class TestBgpTimeline:
     def test_blackhole_window(self, hpn_mutable):
-        tl = FailoverTimeline(hpn_mutable, detect_delay=0.05, convergence_delay=0.5)
+        tl = FailoverTimeline(hpn_mutable, detect_delay_s=0.05, convergence_delay_s=0.5)
         done = tl.fail_access_link(0, now=10.0)
         assert done == pytest.approx(10.55)
         assert tl.leg_attracts_traffic(0, 10.2)       # still blackholed
@@ -262,7 +262,7 @@ class TestBond:
 
     def test_mii_detection_window(self, hpn_mutable):
         nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)
-        bond = Bond(hpn_mutable, nic, mii_delay=0.1)
+        bond = Bond(hpn_mutable, nic, mii_delay_s=0.1)
         hpn_mutable.set_link_state(hpn_mutable.port(nic.ports[0]).link_id, False)
         bond.notice_failure(0, now=1.0)
         assert bond.member_usable(0, 1.05)       # not yet detected

@@ -1,0 +1,158 @@
+"""CLI acceptance scenarios for ``repro validate --all`` and ``repro lint``.
+
+The headline scenario from the issue: seed an HPN fabric with TWO
+independent miswirings (a single-ToR NIC and a cross-plane aggregation
+link), then assert one ``validate --all`` run reports both diagnostics
+with distinct rule ids, exits non-zero, and round-trips through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import save_topology
+from repro.core.entities import PortKind
+from repro.topos import HpnSpec, build_hpn
+from repro.topos.hpn import agg_name, tor_name
+
+SPEC = HpnSpec(
+    segments_per_pod=1,
+    hosts_per_segment=4,
+    backup_hosts_per_segment=0,
+    aggs_per_plane=2,
+    agg_core_uplinks=0,
+)
+
+
+def inject_miswirings(topo) -> None:
+    """Two independent faults, two analyzer families."""
+    # fault 1: a NIC whose second leg is re-terminated on its plane-0
+    # ToR -- the NIC now reaches a single ToR (dual-ToR violation)
+    nic = topo.hosts["pod0/seg0/host0"].nic_for_rail(0)
+    port1 = topo.port(nic.ports[1])
+    old = topo.links.pop(port1.link_id)
+    topo.port(old.a).link_id = None
+    topo.port(old.b).link_id = None
+    extra = topo.alloc_port(tor_name(0, 0, 0, 0), 200.0, PortKind.DOWN)
+    topo.wire(nic.ports[1], extra.ref)
+    # fault 2: an aggregation uplink that crosses planes
+    up = topo.alloc_port(tor_name(0, 0, 1, 0), 400.0, PortKind.UP)
+    down = topo.alloc_port(agg_name(0, 1, 0), 400.0, PortKind.DOWN)
+    topo.wire(up.ref, down.ref)
+
+
+@pytest.fixture()
+def miswired_path(tmp_path):
+    topo = build_hpn(SPEC)
+    inject_miswirings(topo)
+    path = str(tmp_path / "miswired.json")
+    save_topology(topo, path)
+    return path
+
+
+@pytest.fixture()
+def clean_path(tmp_path):
+    path = str(tmp_path / "clean.json")
+    save_topology(build_hpn(SPEC), path)
+    return path
+
+
+class TestValidateAll:
+    def test_both_miswirings_in_one_json_run(self, miswired_path, capsys):
+        rc = cli_main([
+            "validate", "-i", miswired_path, "--all", "--format", "json",
+        ])
+        assert rc != 0
+        payload = json.loads(capsys.readouterr().out)  # JSON round-trip
+        assert payload["ok"] is False
+        ids = {d["rule_id"] for d in payload["diagnostics"]}
+        # both injected faults surface, under distinct rule ids
+        assert "TOPO002" in ids  # single-ToR NIC
+        assert "TOPO003" in ids  # cross-plane aggregation link
+        messages = " ".join(d["message"] for d in payload["diagnostics"])
+        assert "expected 2 distinct (dual-ToR)" in messages
+        assert agg_name(0, 1, 0) in messages
+
+    def test_text_mode_groups_families(self, miswired_path, capsys):
+        rc = cli_main(["validate", "-i", miswired_path, "--all"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "INVARIANT VIOLATIONS" in out
+        assert "WIRING FAULTS" in out
+
+    def test_staged_mode_also_fails(self, miswired_path, capsys):
+        assert cli_main(["validate", "-i", miswired_path]) == 1
+
+    def test_clean_topology_passes(self, clean_path, capsys):
+        rc = cli_main(["validate", "-i", clean_path, "--all"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all invariants hold" in out
+        assert "probe flows delivered loop-free" in out
+
+    def test_clean_json_report(self, clean_path, capsys):
+        rc = cli_main(["validate", "-i", clean_path, "--all",
+                       "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["ok"] is True
+        assert payload["stats"]["fwd_flows_walked"] > 0
+
+    def test_built_topology_without_input(self, capsys):
+        rc = cli_main(["validate", "--segments", "1", "--hosts", "4",
+                       "--aggs", "2"])
+        assert rc == 0
+
+
+class TestLintCli:
+    def test_nonzero_on_float_equality_fixture(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def same(a_gbps, b_gbps):\n"
+                       "    return a_gbps == b_gbps\n")
+        rc = cli_main(["lint", str(bad)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "LINT001" in out
+
+    def test_zero_on_clean_file(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("import math\n"
+                        "def same(a_gbps, b_gbps):\n"
+                        "    return math.isclose(a_gbps, b_gbps)\n")
+        assert cli_main(["lint", str(good)]) == 0
+
+    def test_zero_on_shipped_tree(self, capsys):
+        """Acceptance: ``repro lint src/repro`` exits 0 on the fixed tree."""
+        import repro
+
+        rc = cli_main(["lint", repro.__path__[0]])
+        assert rc == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        rc = cli_main(["lint", str(bad), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert [d["rule_id"] for d in payload["diagnostics"]] == ["LINT003"]
+
+    def test_rule_filter(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert cli_main(["lint", str(bad), "--rules", "LINT001"]) == 0
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        warn = tmp_path / "warn.py"
+        warn.write_text("class T:\n    latency: float = 0.5\n")
+        assert cli_main(["lint", str(warn)]) == 0
+        assert cli_main(["lint", str(warn), "--strict"]) == 1
+
+    def test_list_rules_catalogue(self, capsys):
+        rc = cli_main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for rid in ("TOPO001", "TOPO010", "WIRE001", "FWD004", "LINT004"):
+            assert rid in out
