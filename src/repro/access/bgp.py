@@ -48,9 +48,21 @@ class FailoverTimeline:
     #: (link_id) -> RouteState for the /32 riding that access link
     _state: Dict[int, RouteState] = field(default_factory=dict)
     log: List[Tuple[float, str]] = field(default_factory=list)
+    #: bound on retained log lines (None = unbounded); long engine-driven
+    #: fault campaigns set this so the log cannot grow without limit --
+    #: oldest lines roll off and are counted in ``rolled_up_entries``
+    max_entries: Optional[int] = None
+    rolled_up_entries: int = 0
 
     def _ensure(self, link_id: int) -> RouteState:
         return self._state.setdefault(link_id, RouteState())
+
+    def _log(self, at_s: float, message: str) -> None:
+        self.log.append((at_s, message))
+        if self.max_entries is not None and len(self.log) > self.max_entries:
+            excess = len(self.log) - self.max_entries
+            del self.log[:excess]
+            self.rolled_up_entries += excess
 
     @property
     def blackhole_window(self) -> float:
@@ -64,7 +76,7 @@ class FailoverTimeline:
         done = now + self.blackhole_window
         state.advertised = False
         state.transition_at = done
-        self.log.append((now, f"link {link_id} down, /32 withdrawal by {done:.3f}"))
+        self._log(now, f"link {link_id} down, /32 withdrawal by {done:.3f}")
         return done
 
     def recover_access_link(self, link_id: int, now: float) -> float:
@@ -73,7 +85,7 @@ class FailoverTimeline:
         done = now + self.convergence_delay_s
         state.advertised = True
         state.transition_at = done
-        self.log.append((now, f"link {link_id} up, /32 restored by {done:.3f}"))
+        self._log(now, f"link {link_id} up, /32 restored by {done:.3f}")
         return done
 
     # ------------------------------------------------------------------

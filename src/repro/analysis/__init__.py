@@ -14,11 +14,26 @@ from .polarization import (
     stage_choices,
 )
 from .scale import ScaleRow, Table4Row, hpn_pod_gpus, table2, table4
-from .sweep import SweepPoint, knee_point, sweep_aggs_per_plane, sweep_oversubscription
+from .sweep import (
+    SWEEP_KNOBS,
+    SweepPoint,
+    aggs_per_plane_spec,
+    evaluate_point,
+    knee_point,
+    oversubscription_spec,
+    run_sweep,
+    sweep_aggs_per_plane,
+    sweep_oversubscription,
+)
 
 __all__ = [
+    "SWEEP_KNOBS",
     "SweepPoint",
+    "aggs_per_plane_spec",
+    "evaluate_point",
     "knee_point",
+    "oversubscription_spec",
+    "run_sweep",
     "sweep_aggs_per_plane",
     "sweep_oversubscription",
     "PortBalanceReport",

@@ -34,7 +34,14 @@ class SweepPoint:
     agg_fault_domains: int = 0
 
 
-def _evaluate(spec: HpnSpec, value: float, build: bool) -> SweepPoint:
+def evaluate_point(spec: HpnSpec, value: float,
+                   build: bool = False) -> SweepPoint:
+    """Evaluate one design point (optionally building the full fabric).
+
+    Pure in (spec, value, build) -- this is the unit of work the
+    experiment engine parallelizes, so it must not read or mutate any
+    shared state.
+    """
     topo: Optional[Topology] = build_hpn(spec) if build else None
     cost = network_cost(topo) if topo is not None else float("nan")
     core_up = spec.aggs_per_plane * spec.agg_core_uplinks * 2 * TOR_UP_GBPS
@@ -51,6 +58,40 @@ def _evaluate(spec: HpnSpec, value: float, build: bool) -> SweepPoint:
     )
 
 
+_evaluate = evaluate_point  # compatibility alias for older callers
+
+
+def oversubscription_spec(base: HpnSpec, uplinks: int) -> HpnSpec:
+    """The derived spec for one agg->core uplink count (§7 trade-off).
+
+    More uplinks = more cross-pod bandwidth but fewer ports left for
+    segments: each extra uplink costs one downlink, shrinking the pod.
+    """
+    # a 128-port agg chip: down + up = 128 at 400G
+    downlinks = 128 - uplinks
+    segments = max(1, downlinks // (base.rails * base.tor_agg_links))
+    return replace(
+        base,
+        agg_core_uplinks=uplinks,
+        segments_per_pod=segments,
+        cores_per_plane=0,
+    )
+
+
+def aggs_per_plane_spec(base: HpnSpec, count: int) -> HpnSpec:
+    """The derived spec for one plane-width value (fault-domain knob)."""
+    links = max(1, 60 // count)
+    return replace(base, aggs_per_plane=count, tor_agg_links=links,
+                   agg_core_uplinks=0, cores_per_plane=0, pods=1)
+
+
+#: sweepable knobs: name -> (spec derivation, default value list)
+SWEEP_KNOBS = {
+    "oversubscription": (oversubscription_spec, (4, 8, 16, 30, 60)),
+    "aggs-per-plane": (aggs_per_plane_spec, (15, 30, 60)),
+}
+
+
 def sweep_oversubscription(
     base: HpnSpec = HpnSpec(),
     uplink_counts: Sequence[int] = (4, 8, 16, 30, 60),
@@ -61,19 +102,11 @@ def sweep_oversubscription(
     More uplinks = more cross-pod bandwidth but fewer ports left for
     segments: each extra uplink costs one downlink, shrinking the pod.
     """
-    points = []
-    for uplinks in uplink_counts:
-        # a 128-port agg chip: down + up = 128 at 400G
-        downlinks = 128 - uplinks
-        segments = max(1, downlinks // (base.rails * base.tor_agg_links))
-        spec = replace(
-            base,
-            agg_core_uplinks=uplinks,
-            segments_per_pod=segments,
-            cores_per_plane=0,
-        )
-        points.append(_evaluate(spec, float(uplinks), build))
-    return points
+    return [
+        evaluate_point(oversubscription_spec(base, uplinks),
+                       float(uplinks), build)
+        for uplinks in uplink_counts
+    ]
 
 
 def sweep_aggs_per_plane(
@@ -89,12 +122,49 @@ def sweep_aggs_per_plane(
     ``tor_agg_links`` paths at once instead of one (the paper's "59
     surviving aggs keep balancing" property).
     """
+    return [
+        evaluate_point(aggs_per_plane_spec(base, count), float(count), build)
+        for count in counts
+    ]
+
+
+def run_sweep(
+    knob: str,
+    values: Optional[Sequence[int]] = None,
+    build: bool = False,
+    runner: Optional[object] = None,
+    base_seed: int = 0,
+) -> List[SweepPoint]:
+    """Execute a design sweep through the experiment engine.
+
+    Each design point becomes one cached, seeded experiment
+    (``sweep.<knob>``), fanned out by the runner's backend -- pass a
+    ``repro.engine.Runner(backend="process")`` to evaluate points
+    across cores; the default is a plain serial engine run. Results
+    are identical to :func:`sweep_oversubscription` /
+    :func:`sweep_aggs_per_plane` on the same values.
+    """
+    from ..engine import Runner, specs_for_grid
+
+    if knob not in SWEEP_KNOBS:
+        known = ", ".join(sorted(SWEEP_KNOBS))
+        raise ValueError(f"unknown sweep knob {knob!r} (known: {known})")
+    if values is None:
+        values = SWEEP_KNOBS[knob][1]
+    engine_runner = runner if runner is not None else Runner()
+    specs = specs_for_grid(
+        f"sweep.{knob}",
+        {"value": list(values)},
+        base_seed=base_seed,
+        fixed={"build": build},
+    )
+    result = engine_runner.run(specs)  # type: ignore[attr-defined]
     points = []
-    for count in counts:
-        links = max(1, 60 // count)
-        spec = replace(base, aggs_per_plane=count, tor_agg_links=links,
-                       agg_core_uplinks=0, cores_per_plane=0, pods=1)
-        points.append(_evaluate(spec, float(count), build))
+    for payload in result.payloads:
+        data = dict(payload)
+        if data.get("relative_cost") is None:  # JSON has no NaN
+            data["relative_cost"] = float("nan")
+        points.append(SweepPoint(**data))
     return points
 
 

@@ -9,7 +9,11 @@ Commands:
 * ``complexity`` -- print Table 1 (path-selection search space);
 * ``train``      -- simulate one training iteration of a named model;
 * ``inject``     -- run the Figure-18 fault drill and print the
-                    throughput timeline.
+                    throughput timeline;
+* ``exp``        -- the experiment engine: ``exp list`` (catalogue),
+                    ``exp run`` (schedule a cached, seeded batch over
+                    the serial or process backend), ``exp compare``
+                    (diff two run manifests ignoring timing).
 
 The CLI exists so the library is usable without writing Python; every
 command is a thin veneer over the public API.
@@ -221,6 +225,119 @@ def cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_value(text: str):
+    """CLI param literal -> typed value (bool/int/float/str)."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_assignments(pairs, split_values: bool):
+    """Parse repeated ``key=value`` (or ``key=v1,v2,...``) options."""
+    out = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"error: expected key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        if split_values:
+            out[key] = [_parse_param_value(v) for v in raw.split(",") if v]
+        else:
+            out[key] = _parse_param_value(raw)
+    return out
+
+
+def cmd_exp_list(args: argparse.Namespace) -> int:
+    from .engine import all_experiments
+
+    for defn in all_experiments():
+        print(f"{defn.name:<24} {defn.description}")
+        if defn.defaults and args.verbose:
+            defaults = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(defn.defaults.items())
+            )
+            print(f"{'':<24} defaults: {defaults}")
+    return 0
+
+
+def cmd_exp_run(args: argparse.Namespace) -> int:
+    from .engine import Event, ResultCache, Runner, specs_for_grid
+
+    fixed = _parse_assignments(args.set, split_values=False)
+    grid = _parse_assignments(args.grid, split_values=True)
+    try:
+        if grid:
+            specs = specs_for_grid(args.kind, grid, base_seed=args.seed,
+                                   fixed=fixed)
+        else:
+            from .engine import get_experiment
+
+            specs = [get_experiment(args.kind).spec(seed=args.seed, **fixed)]
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(event: Event) -> None:
+        if args.format == "json":
+            return
+        mark = {"start": "..", "cache-hit": "=#", "done": "ok",
+                "error": "!!"}[event.kind]
+        params = ", ".join(
+            f"{k}={v}" for k, v in sorted(event.spec.params.items())
+        )
+        print(f"[{event.index + 1}/{event.total}] {mark} "
+              f"{event.spec.kind}({params}) seed={event.spec.seed}"
+              f"{' ' + event.detail if event.detail else ''}")
+
+    runner = Runner(
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        backend=args.backend,
+        max_workers=args.workers,
+        manifest_dir=args.manifest_dir,
+        on_event=progress,
+        force=args.force,
+    )
+    result = runner.run(specs)
+    manifest = result.manifest
+    if args.format == "json":
+        print(manifest.to_json())
+        return 0
+    hits = sum(1 for r in manifest.records if r.cache_hit)
+    print(f"{len(manifest.records)} experiments on {manifest.backend} "
+          f"backend ({manifest.workers} worker(s)): "
+          f"{hits} cache hit(s), {len(manifest.records) - hits} executed, "
+          f"{manifest.wall_time_s:.2f}s wall")
+    if result.manifest_path:
+        print(f"manifest: {result.manifest_path}")
+    return 0
+
+
+def cmd_exp_compare(args: argparse.Namespace) -> int:
+    from .engine import compare_manifests, load_manifest
+
+    try:
+        first = load_manifest(args.first)
+        second = load_manifest(args.second)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diffs = compare_manifests(first, second)
+    if not diffs:
+        print(f"equivalent: {len(first.records)} experiment(s) match "
+              "(timing ignored)")
+        return 0
+    print(f"{len(diffs)} difference(s):")
+    for diff in diffs:
+        spec = diff["spec"]
+        print(f"  {spec[0]} seed={spec[2]} [{diff['kind']}] {diff['detail']}")
+    return 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -278,6 +395,42 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--repair-at", type=float, default=60.0)
     p.add_argument("--duration", type=float, default=300.0)
     p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser("exp", help="experiment engine (list/run/compare)")
+    exp_sub = p.add_subparsers(dest="exp_command", required=True)
+
+    q = exp_sub.add_parser("list", help="show the experiment catalogue")
+    q.add_argument("--verbose", "-v", action="store_true",
+                   help="also print each experiment's default params")
+    q.set_defaults(func=cmd_exp_list)
+
+    q = exp_sub.add_parser("run", help="run a cached, seeded batch")
+    q.add_argument("kind", help="experiment name (see `exp list`)")
+    q.add_argument("--set", action="append", metavar="KEY=VALUE",
+                   help="fix one param (repeatable)")
+    q.add_argument("--grid", action="append", metavar="KEY=V1,V2,...",
+                   help="sweep one param over values (repeatable; "
+                        "cartesian product across --grid options)")
+    q.add_argument("--seed", type=int, default=0,
+                   help="base seed; per-experiment seeds derive from it")
+    q.add_argument("--backend", choices=["serial", "process"],
+                   default="serial")
+    q.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: all cores)")
+    q.add_argument("--cache-dir", default=".repro/cache")
+    q.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache entirely")
+    q.add_argument("--force", action="store_true",
+                   help="ignore cached results but still refresh them")
+    q.add_argument("--manifest-dir", default=".repro/manifests")
+    q.add_argument("--format", choices=["text", "json"], default="text")
+    q.set_defaults(func=cmd_exp_run)
+
+    q = exp_sub.add_parser("compare",
+                           help="diff two run manifests (timing ignored)")
+    q.add_argument("first")
+    q.add_argument("second")
+    q.set_defaults(func=cmd_exp_compare)
     return parser
 
 

@@ -37,3 +37,8 @@ class PlacementError(ReproError):
 
 class CollectiveError(ReproError):
     """A collective operation was configured inconsistently."""
+
+
+class EngineError(ReproError):
+    """The experiment engine was misused (unknown experiment, bad
+    backend, malformed spec or manifest)."""

@@ -8,6 +8,8 @@ ports and links (including operational state), and builder metadata.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
 import json
 from dataclasses import asdict
 from typing import Any, Dict
@@ -178,6 +180,42 @@ def topology_from_dict(data: Dict[str, Any]) -> Topology:
         max_id = max(max_id, link.link_id)
     topo._next_link_id = max_id + 1
     return topo
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a value into plain JSON-safe types.
+
+    Dataclasses become dicts, enums their values, mappings plain dicts
+    (string keys), and tuples/sets/sequences lists. Anything already
+    JSON-native passes through; everything else falls back to ``str``
+    so callers never have to special-case exotic leaf types.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [to_jsonable(v) for v in items]
+    return str(value)
+
+
+def stable_json_dumps(value: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, compact separators.
+
+    Two equal values always produce the same byte string, which makes
+    the output safe to hash (the experiment engine's cache keys) and to
+    diff (run manifests).
+    """
+    return json.dumps(to_jsonable(value), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def topology_to_json(topo: Topology) -> str:

@@ -1,0 +1,68 @@
+"""Experiment orchestration engine.
+
+Turns every simulation in the repo into a schedulable, cacheable,
+reproducible *experiment*:
+
+* :mod:`~repro.engine.spec` -- experiment specs (callable + typed
+  params + explicit seed), the registry, deterministic seed derivation;
+* :mod:`~repro.engine.runner` -- serial and process-pool backends with
+  identical results either way;
+* :mod:`~repro.engine.cache` -- content-addressed on-disk result cache
+  (key = hash of code version + params + seed) with warm-run skip;
+* :mod:`~repro.engine.manifest` -- per-run JSON manifests recording
+  params, seeds, wall times, workers, cache hits, and payloads;
+* :mod:`~repro.engine.builtin` -- the catalogue of built-in
+  experiments (design sweeps, Monte-Carlo reliability, fault drills,
+  collective benchmarks).
+
+CLI surface: ``python -m repro exp list|run|compare``.
+
+Quick start::
+
+    from repro.engine import Runner, ResultCache
+
+    runner = Runner(cache=ResultCache(".repro/cache"), backend="process")
+    result = runner.run_grid("reliability.trials",
+                             {"gpus": [1000, 2000, 3000]}, base_seed=42)
+    print(result.manifest.cache_hit_rate)
+"""
+
+from .cache import CacheStats, ResultCache
+from .manifest import (
+    ExperimentRecord,
+    RunManifest,
+    compare_manifests,
+    load_manifest,
+)
+from .runner import BACKENDS, Event, Runner, RunResult
+from .spec import (
+    ExperimentDef,
+    ExperimentSpec,
+    all_experiments,
+    derive_seed,
+    experiment,
+    get_experiment,
+    register,
+    specs_for_grid,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CacheStats",
+    "Event",
+    "ExperimentDef",
+    "ExperimentRecord",
+    "ExperimentSpec",
+    "ResultCache",
+    "RunManifest",
+    "RunResult",
+    "Runner",
+    "all_experiments",
+    "compare_manifests",
+    "derive_seed",
+    "experiment",
+    "get_experiment",
+    "load_manifest",
+    "register",
+    "specs_for_grid",
+]

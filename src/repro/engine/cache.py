@@ -1,0 +1,156 @@
+"""Content-addressed on-disk result cache.
+
+Entries are keyed by :meth:`ExperimentSpec.cache_key` -- a sha256 over
+(experiment name, params, seed, code version) -- and stored one JSON
+file per key under ``<root>/<key[:2]>/<key>.json`` with a payload
+checksum. The addressing discipline gives the cache its semantics for
+free:
+
+* same computation -> same key -> warm-run skip;
+* any changed input (param, seed, code) -> different key -> miss and
+  re-run; stale entries are never *wrong*, only unreferenced;
+* a corrupted entry (truncated file, bit-flipped payload, schema
+  drift) fails its checksum and is treated as a miss and recomputed.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed run never
+leaves a half-written entry that poisons later runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from ..core.serialize import stable_json_dumps
+
+#: bumped on cache entry format changes; mismatched entries read as misses
+ENTRY_SCHEMA = 1
+
+
+def _payload_digest(payload: Any) -> str:
+    return hashlib.sha256(
+        stable_json_dumps(payload).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache's lifetime in a process."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+
+
+@dataclass
+class ResultCache:
+    """Filesystem-backed map from cache key to experiment payload."""
+
+    root: str
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def path_for(self, key: str) -> str:
+        """Where an entry for ``key`` lives (existing or not)."""
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or None on miss.
+
+        Unreadable, malformed, or checksum-failing entries count as
+        ``corrupt`` misses and are deleted so the slot is recomputed
+        cleanly rather than tripping on every warm run.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._drop_corrupt(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != ENTRY_SCHEMA
+            or entry.get("key") != key
+            or "payload" not in entry
+            or entry.get("payload_sha256") != _payload_digest(entry["payload"])
+        ):
+            self._drop_corrupt(path)
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: Any) -> str:
+        """Store ``payload`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "key": key,
+            "payload_sha256": _payload_digest(payload),
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(stable_json_dumps(entry))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def invalidate(self, key: str) -> bool:
+        """Explicitly drop one entry; True if it existed."""
+        path = self.path_for(key)
+        try:
+            os.unlink(path)
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except FileNotFoundError:
+                continue
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def _entry_paths(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for fname in sorted(os.listdir(shard_dir)):
+                if fname.endswith(".json"):
+                    yield os.path.join(shard_dir, fname)
+
+    def _drop_corrupt(self, path: str) -> None:
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -1,0 +1,191 @@
+"""Run manifests: the audit trail of an engine batch.
+
+Every :meth:`Runner.run` produces one manifest -- a JSON artifact
+recording, per experiment: the spec (kind/params/seed), its cache key,
+whether it was a cache hit, wall time, which worker executed it, and
+the result payload. Manifests serve three purposes:
+
+* **provenance** -- a figure regenerated through the engine names the
+  exact seeds and code version that produced it;
+* **equivalence checking** -- :meth:`RunManifest.canonical_json` strips
+  the fields that legitimately vary between runs (timing, worker ids,
+  run id, backend) so a serial and a parallel run of the same batch
+  compare byte-identical;
+* **perf trajectories** -- the timing fields that the canonical form
+  strips are exactly what regression tracking wants to keep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..core.errors import EngineError
+from ..core.serialize import stable_json_dumps
+
+#: record fields that may differ between two equivalent runs (timing,
+#: placement, and cache circumstance -- none of them are *results*)
+TIMING_FIELDS = ("wall_time_s", "worker", "cache_hit")
+#: manifest-level fields that may differ between two equivalent runs
+RUN_FIELDS = ("run_id", "backend", "workers", "started_at_s",
+              "finished_at_s")
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's outcome inside a run."""
+
+    kind: str
+    params: Mapping[str, Any]
+    seed: int
+    cache_key: str
+    cache_hit: bool
+    wall_time_s: float
+    worker: str
+    payload: Mapping[str, Any]
+
+    def canonical(self) -> Dict[str, Any]:
+        """The record minus fields that vary between equivalent runs."""
+        data = asdict(self)
+        for fname in TIMING_FIELDS:
+            data.pop(fname, None)
+        return data
+
+
+@dataclass
+class RunManifest:
+    """One engine batch: metadata plus per-experiment records."""
+
+    run_id: str
+    backend: str
+    workers: int
+    code_versions: Mapping[str, str] = field(default_factory=dict)
+    started_at_s: float = 0.0
+    finished_at_s: float = 0.0
+    records: List[ExperimentRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of experiments served from cache (0.0 if empty)."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.cache_hit) / len(self.records)
+
+    @property
+    def wall_time_s(self) -> float:
+        return self.finished_at_s - self.started_at_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "backend": self.backend,
+            "workers": self.workers,
+            "code_versions": dict(self.code_versions),
+            "started_at_s": self.started_at_s,
+            "finished_at_s": self.finished_at_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def canonical_json(self) -> str:
+        """Deterministic encoding of the run's *results*.
+
+        Drops run identity and timing (see :data:`TIMING_FIELDS` /
+        :data:`RUN_FIELDS`); two runs of the same batch -- serial or
+        parallel, any worker count -- must produce identical bytes.
+        """
+        return stable_json_dumps(
+            {
+                "code_versions": dict(self.code_versions),
+                "records": [r.canonical() for r in self.records],
+            }
+        )
+
+    def save(self, directory: str) -> str:
+        """Write ``run-<id>.json`` under ``directory``; returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"run-{self.run_id}.json")
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+        return path
+
+
+def load_manifest(path: str) -> RunManifest:
+    """Read a manifest written by :meth:`RunManifest.save`."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise EngineError(f"cannot read manifest {path!r}: {exc}") from exc
+    try:
+        records = [ExperimentRecord(**r) for r in data["records"]]
+        return RunManifest(
+            run_id=data["run_id"],
+            backend=data["backend"],
+            workers=data["workers"],
+            code_versions=data.get("code_versions", {}),
+            started_at_s=data.get("started_at_s", 0.0),
+            finished_at_s=data.get("finished_at_s", 0.0),
+            records=records,
+        )
+    except (KeyError, TypeError) as exc:
+        raise EngineError(f"malformed manifest {path!r}: {exc}") from exc
+
+
+def compare_manifests(
+    a: RunManifest, b: RunManifest
+) -> List[Dict[str, Any]]:
+    """Per-experiment differences between two runs (ignoring timing).
+
+    Records are matched by (kind, params, seed); returns one diff dict
+    per mismatch -- payload drift, cache-key drift (code changed), or
+    an experiment present on only one side. Empty list == equivalent.
+    """
+
+    def index(m: RunManifest) -> Dict[str, ExperimentRecord]:
+        return {
+            stable_json_dumps([r.kind, r.params, r.seed]): r
+            for r in m.records
+        }
+
+    left, right = index(a), index(b)
+    diffs: List[Dict[str, Any]] = []
+    for key in sorted(set(left) | set(right)):
+        ra: Optional[ExperimentRecord] = left.get(key)
+        rb: Optional[ExperimentRecord] = right.get(key)
+        if ra is None or rb is None:
+            present = "first" if rb is None else "second"
+            missing_from = "second" if rb is None else "first"
+            diffs.append(
+                {
+                    "spec": json.loads(key),
+                    "kind": "missing",
+                    "detail": f"only in {present} run (missing from "
+                              f"{missing_from})",
+                }
+            )
+            continue
+        if ra.cache_key != rb.cache_key:
+            diffs.append(
+                {
+                    "spec": json.loads(key),
+                    "kind": "code_version",
+                    "detail": f"cache key {ra.cache_key[:12]} != "
+                              f"{rb.cache_key[:12]} (code changed)",
+                }
+            )
+        if stable_json_dumps(ra.payload) != stable_json_dumps(rb.payload):
+            diffs.append(
+                {
+                    "spec": json.loads(key),
+                    "kind": "payload",
+                    "detail": "result payloads differ",
+                }
+            )
+    return diffs

@@ -1,0 +1,244 @@
+"""Experiment runner: serial and process-pool execution backends.
+
+The runner turns a batch of :class:`ExperimentSpec`s into payloads and
+a :class:`RunManifest`, consulting the content-addressed cache first
+and fanning cache misses out across workers. Two invariants:
+
+* **backend equivalence** -- each experiment's result depends only on
+  its spec (the function receives its own params and its own explicit
+  seed, never shared RNG state), so the parallel backend produces
+  byte-identical payloads to the serial one, in the same batch order,
+  regardless of completion order;
+* **warm-run skip** -- a spec whose cache key is present never
+  executes; the manifest records the hit so callers can assert cache
+  effectiveness (the CI smoke job requires >=90% on a warm re-run).
+
+Progress is observable through an event callback: one ``start`` /
+``cache-hit`` / ``done`` / ``error`` event per experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .. import __version__
+from ..core.errors import EngineError
+from ..core.serialize import to_jsonable
+from .cache import ResultCache
+from .manifest import ExperimentRecord, RunManifest
+from .spec import ExperimentSpec, get_experiment, specs_for_grid
+
+BACKENDS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One progress notification from a running batch."""
+
+    kind: str  # "start" | "cache-hit" | "done" | "error"
+    spec: ExperimentSpec
+    index: int
+    total: int
+    detail: str = ""
+
+
+EventCallback = Callable[[Event], None]
+
+
+@dataclass
+class RunResult:
+    """Payloads (in spec order) plus the manifest that produced them."""
+
+    payloads: List[Mapping[str, Any]]
+    manifest: RunManifest
+    manifest_path: Optional[str] = None
+
+
+def _execute(kind: str, params: Dict[str, Any], seed: int
+             ) -> Tuple[str, float, Any]:
+    """Run one experiment; top-level so process workers can pickle it.
+
+    Returns (worker id, wall seconds, JSON-safe payload). The worker
+    resolves the experiment by name through the registry -- under
+    ``spawn`` start methods the registry is rebuilt from the built-in
+    catalogue on first lookup.
+    """
+    defn = get_experiment(kind)
+    t0 = time.perf_counter()
+    payload = defn.fn(dict(params), seed)
+    wall_s = time.perf_counter() - t0
+    return f"pid-{os.getpid()}", wall_s, to_jsonable(payload)
+
+
+@dataclass
+class Runner:
+    """Schedules experiment batches over a backend and a cache.
+
+    ``cache=None`` disables caching (every spec executes). ``force``
+    keeps the cache for writing but ignores it for reads -- an explicit
+    full invalidation of the batch. ``code_version`` overrides the
+    per-experiment stamp (release + function-source hash); tests use it
+    to model "the code changed".
+    """
+
+    cache: Optional[ResultCache] = None
+    backend: str = "serial"
+    max_workers: Optional[int] = None
+    manifest_dir: Optional[str] = None
+    on_event: Optional[EventCallback] = None
+    force: bool = False
+    code_version: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise EngineError(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of {', '.join(BACKENDS)})"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[ExperimentSpec]) -> RunResult:
+        """Execute a batch; results come back in spec order."""
+        total = len(specs)
+        versions: Dict[str, str] = {}
+        for spec in specs:
+            if spec.kind not in versions:
+                defn = get_experiment(spec.kind)
+                versions[spec.kind] = (
+                    self.code_version
+                    if self.code_version is not None
+                    else defn.code_version(__version__)
+                )
+        keys = [s.cache_key(versions[s.kind]) for s in specs]
+
+        manifest = RunManifest(
+            run_id=f"{time.strftime('%Y%m%dT%H%M%S')}-{uuid.uuid4().hex[:8]}",
+            backend=self.backend,
+            workers=self._worker_count(),
+            code_versions=versions,
+            started_at_s=time.time(),
+        )
+
+        # cache pass: resolve hits up front so only misses execute
+        slots: List[Optional[Tuple[str, float, Any]]] = [None] * total
+        misses: List[int] = []
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            payload = None
+            if self.cache is not None and not self.force:
+                payload = self.cache.get(key)
+            if payload is not None:
+                slots[i] = ("cache", 0.0, payload)
+                self._emit(Event("cache-hit", spec, i, total, key[:12]))
+            else:
+                misses.append(i)
+
+        if misses:
+            self._execute_misses(specs, misses, slots, total)
+
+        # assemble records in spec order; write misses through to cache
+        payloads: List[Mapping[str, Any]] = []
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            slot = slots[i]
+            if slot is None:  # defensive: every slot must be filled
+                raise EngineError(f"experiment {spec.kind}[{i}] never ran")
+            worker, wall_s, payload = slot
+            hit = worker == "cache"
+            if not hit and self.cache is not None:
+                self.cache.put(key, payload)
+            manifest.records.append(
+                ExperimentRecord(
+                    kind=spec.kind,
+                    params=dict(spec.params),
+                    seed=spec.seed,
+                    cache_key=key,
+                    cache_hit=hit,
+                    wall_time_s=wall_s,
+                    worker=worker,
+                    payload=payload,
+                )
+            )
+            payloads.append(payload)
+
+        manifest.finished_at_s = time.time()
+        path = None
+        if self.manifest_dir is not None:
+            path = manifest.save(self.manifest_dir)
+        return RunResult(payloads=payloads, manifest=manifest,
+                         manifest_path=path)
+
+    # ------------------------------------------------------------------
+    def run_grid(
+        self,
+        kind: str,
+        grid: Mapping[str, Sequence[Any]],
+        base_seed: int = 0,
+        fixed: Optional[Mapping[str, Any]] = None,
+    ) -> RunResult:
+        """Parallel map over a cartesian parameter grid.
+
+        Seeds derive from (base_seed, params) -- see
+        :func:`repro.engine.spec.specs_for_grid` -- so the expansion is
+        stable under reordering and across backends.
+        """
+        return self.run(specs_for_grid(kind, grid, base_seed, fixed))
+
+    # ------------------------------------------------------------------
+    def _worker_count(self) -> int:
+        if self.backend == "serial":
+            return 1
+        return self.max_workers or os.cpu_count() or 1
+
+    def _emit(self, event: Event) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _execute_misses(
+        self,
+        specs: Sequence[ExperimentSpec],
+        misses: List[int],
+        slots: List[Optional[Tuple[str, float, Any]]],
+        total: int,
+    ) -> None:
+        if self.backend == "serial":
+            for i in misses:
+                spec = specs[i]
+                self._emit(Event("start", spec, i, total))
+                try:
+                    slots[i] = _execute(spec.kind, dict(spec.params),
+                                        spec.seed)
+                except Exception as exc:
+                    self._emit(Event("error", spec, i, total, str(exc)))
+                    raise
+                self._emit(Event("done", spec, i, total))
+            return
+
+        with ProcessPoolExecutor(max_workers=self._worker_count()) as pool:
+            futures = {}
+            for i in misses:
+                spec = specs[i]
+                self._emit(Event("start", spec, i, total))
+                futures[pool.submit(
+                    _execute, spec.kind, dict(spec.params), spec.seed
+                )] = i
+            for future in futures:
+                i = futures[future]
+                try:
+                    slots[i] = future.result()
+                except Exception as exc:
+                    self._emit(Event("error", specs[i], i, total, str(exc)))
+                    raise
+                self._emit(Event("done", specs[i], i, total))

@@ -1,0 +1,194 @@
+"""Experiment specs and the experiment registry.
+
+An *experiment* is a named pure function ``fn(params, seed) -> payload``
+whose output depends only on its params and its explicit seed. Every
+simulation entry point in the repo (design sweeps, Monte-Carlo
+reliability, fault drills, collective benchmarks) registers one, which
+is what makes it schedulable by :mod:`repro.engine.runner`, cacheable
+by :mod:`repro.engine.cache`, and reproducible byte-for-byte.
+
+A spec is the *invocation*: experiment name + concrete params + seed.
+Specs are value objects -- two equal specs denote the same computation,
+which is the contract the content-addressed cache is built on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from ..core.errors import EngineError
+from ..core.serialize import stable_json_dumps
+
+#: payload type every experiment function returns (JSON-safe mapping)
+Payload = Mapping[str, Any]
+ExperimentFn = Callable[[Dict[str, Any], int], Payload]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One schedulable experiment invocation.
+
+    ``params`` must be JSON-safe (they are hashed into the cache key
+    and written verbatim into run manifests). The seed is explicit and
+    mandatory-by-default: determinism is a property of the spec, not of
+    run order.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def cache_key(self, code_version: str) -> str:
+        """Content-address of this computation.
+
+        Any change to the experiment name, its params, its seed, or
+        the code version produces a different key; equal inputs always
+        produce the same key (stable JSON + sha256).
+        """
+        blob = stable_json_dumps(
+            {
+                "kind": self.kind,
+                "params": self.params,
+                "seed": self.seed,
+                "code_version": code_version,
+            }
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """A registered experiment: the callable plus its metadata."""
+
+    name: str
+    fn: ExperimentFn
+    description: str = ""
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def code_version(self, release: str) -> str:
+        """Version stamp hashed into cache keys for this experiment.
+
+        Combines the library release with a hash of the experiment
+        function's own source, so editing the experiment invalidates
+        its cached results without a manual version bump. Source may be
+        unavailable (REPL-defined functions); then the release alone
+        versions the code.
+        """
+        try:
+            source = inspect.getsource(self.fn)
+        except (OSError, TypeError):
+            source = ""
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+        return f"{release}+{digest}"
+
+    def spec(self, seed: int = 0, **params: Any) -> ExperimentSpec:
+        """Build a spec over this experiment's defaults."""
+        merged = dict(self.defaults)
+        merged.update(params)
+        return ExperimentSpec(kind=self.name, params=merged, seed=seed)
+
+
+_REGISTRY: Dict[str, ExperimentDef] = {}
+_BUILTINS_LOADED = False
+
+
+def register(defn: ExperimentDef) -> ExperimentDef:
+    """Register (or replace) an experiment definition by name."""
+    _REGISTRY[defn.name] = defn
+    return defn
+
+
+def experiment(
+    name: str,
+    description: str = "",
+    defaults: Optional[Mapping[str, Any]] = None,
+) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering ``fn(params, seed)`` under ``name``."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        register(
+            ExperimentDef(
+                name=name,
+                fn=fn,
+                description=description,
+                defaults=dict(defaults or {}),
+            )
+        )
+        return fn
+
+    return wrap
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in experiment catalogue exactly once."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        from . import builtin  # noqa: F401  (import registers)
+
+
+def get_experiment(name: str) -> ExperimentDef:
+    """Look up a registered experiment; raises :class:`EngineError`."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise EngineError(
+            f"unknown experiment {name!r} (registered: {known})"
+        ) from None
+
+
+def all_experiments() -> List[ExperimentDef]:
+    """Every registered experiment, sorted by name."""
+    _ensure_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# deterministic seed derivation
+# ----------------------------------------------------------------------
+def derive_seed(base_seed: int, *parts: Any) -> int:
+    """Derive a per-experiment seed from a base seed and labels.
+
+    Stable across processes and Python versions (sha256 over stable
+    JSON, not ``hash()``), so a batch expanded on one worker count
+    seeds identically on any other -- the cornerstone of
+    serial-vs-parallel equivalence.
+    """
+    blob = stable_json_dumps([base_seed, list(parts)])
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def specs_for_grid(
+    kind: str,
+    grid: Mapping[str, Iterable[Any]],
+    base_seed: int = 0,
+    fixed: Optional[Mapping[str, Any]] = None,
+) -> List[ExperimentSpec]:
+    """Expand a cartesian parameter grid into seeded specs.
+
+    Each point's seed is derived from ``base_seed`` and the point's own
+    params, never from its position in the expansion, so reordering or
+    filtering the grid cannot change any individual result.
+    """
+    defn = get_experiment(kind)
+    keys = sorted(grid)
+    specs: List[ExperimentSpec] = []
+    for combo in itertools.product(*(list(grid[k]) for k in keys)):
+        params = dict(defn.defaults)
+        params.update(fixed or {})
+        params.update(dict(zip(keys, combo)))
+        specs.append(
+            ExperimentSpec(
+                kind=kind,
+                params=params,
+                seed=derive_seed(base_seed, kind, params),
+            )
+        )
+    return specs

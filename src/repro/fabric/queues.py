@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.topology import Topology
 from ..core.units import gbps_to_bytes_per_sec
@@ -37,6 +37,11 @@ class QueueTracker:
     refine: int = 2
     queues: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
     history: List[Tuple[float, Dict[int, float]]] = field(default_factory=list)
+    #: bound on retained history snapshots (None = unbounded); long
+    #: engine-driven runs set this so memory stays flat -- oldest
+    #: snapshots roll off and are counted in ``rolled_up_entries``
+    max_entries: Optional[int] = None
+    rolled_up_entries: int = 0
     _now: float = 0.0
 
     def link_capacity(self, dirlink: int) -> float:
@@ -93,6 +98,10 @@ class QueueTracker:
             self.queues[dl] = max(0.0, q)
         self._now += dt
         self.history.append((self._now, dict(self.queues)))
+        if self.max_entries is not None and len(self.history) > self.max_entries:
+            excess = len(self.history) - self.max_entries
+            del self.history[:excess]
+            self.rolled_up_entries += excess
 
     # ------------------------------------------------------------------
     def queue_of_port(self, node: str, port_index: int) -> float:

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from .stats import (
     MONTHLY_LINK_FAILURE_RATE,
@@ -61,8 +61,15 @@ class FleetSimulation:
     dual_tor_residual_crash: float = 0.01
     seed: int = 42
 
-    def run(self, months: int = 12) -> List[MonthOutcome]:
-        rng = random.Random(self.seed)
+    def run(self, months: int = 12,
+            seed: Optional[int] = None) -> List[MonthOutcome]:
+        """Simulate ``months`` with one dedicated RNG stream.
+
+        ``seed`` overrides the instance seed for this run only; every
+        run owns its own :class:`random.Random`, so concurrent or
+        reordered runs can never perturb each other's draws.
+        """
+        rng = random.Random(self.seed if seed is None else seed)
         out: List[MonthOutcome] = []
         link_lambda = self.footprint.access_links * self.monthly_link_rate
         tor_lambda = self.footprint.tors * self.monthly_tor_rate
@@ -83,8 +90,9 @@ class FleetSimulation:
         return out
 
     # ------------------------------------------------------------------
-    def summarize(self, months: int = 12) -> Dict[str, float]:
-        outcomes = self.run(months)
+    def summarize(self, months: int = 12,
+                  seed: Optional[int] = None) -> Dict[str, float]:
+        outcomes = self.run(months, seed=seed)
         crashes = [m.crashes for m in outcomes]
         return {
             "months": float(months),
@@ -94,6 +102,21 @@ class FleetSimulation:
             "mean_degradations_per_month": sum(m.degradations for m in outcomes)
             / months,
         }
+
+    def run_trials(self, trials: int, months: int = 12,
+                   base_seed: Optional[int] = None) -> List[Dict[str, float]]:
+        """Independent repeated trials with explicit per-trial seeding.
+
+        Trial ``t`` draws from its own ``random.Random(seed + t)``
+        stream, so trial results are a pure function of (footprint,
+        rates, seed, t): running trials in any order, in parallel, or
+        individually (see the ``reliability.trial`` engine experiment)
+        yields identical outcomes.
+        """
+        seed0 = self.seed if base_seed is None else base_seed
+        return [
+            self.summarize(months, seed=seed0 + t) for t in range(trials)
+        ]
 
 
 def _poisson(rng: random.Random, lam: float) -> int:
@@ -120,8 +143,8 @@ def expected_crash_free_months(gpus: int, dual_tor: bool, months: int = 8,
     trials = 200
     survived = 0
     for t in range(trials):
-        sim.seed = seed + t
-        outcomes = sim.run(months)
+        # each trial owns stream seed+t -- order-independent draws
+        outcomes = sim.run(months, seed=seed + t)
         if all(m.crashes == 0 for m in outcomes):
             survived += 1
     return survived / trials

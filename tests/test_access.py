@@ -163,6 +163,23 @@ class TestBgpTimeline:
         tl.recover_access_link(0, 60.0)
         assert tl.leg_attracts_traffic(0, 61.0)
 
+    def test_log_bounded_by_max_entries(self, hpn_mutable):
+        tl = FailoverTimeline(hpn_mutable, max_entries=4)
+        for i in range(6):
+            tl.fail_access_link(0, now=float(2 * i))
+            tl.recover_access_link(0, now=float(2 * i + 1))
+        assert len(tl.log) == 4
+        assert tl.rolled_up_entries == 8
+        # the retained lines are the most recent events
+        assert [t for t, _msg in tl.log] == [8.0, 9.0, 10.0, 11.0]
+
+    def test_log_unbounded_by_default(self, hpn_mutable):
+        tl = FailoverTimeline(hpn_mutable)
+        for i in range(6):
+            tl.fail_access_link(0, now=float(i))
+        assert len(tl.log) == 6
+        assert tl.rolled_up_entries == 0
+
     def test_advertising_tors_reflect_state(self, hpn_mutable):
         tl = FailoverTimeline(hpn_mutable)
         nic = hpn_mutable.hosts["pod0/seg0/host0"].nic_for_rail(0)

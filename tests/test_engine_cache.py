@@ -1,0 +1,164 @@
+"""Cache correctness: hits, misses, invalidation, corruption recovery."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.engine import ExperimentSpec, ResultCache, Runner, experiment
+
+
+@experiment("test.echo", "returns its params and seed (test fixture)")
+def _echo(params, seed):
+    return {"params": dict(params), "seed": seed, "calls": 1}
+
+
+_CALL_LOG = []
+
+
+@experiment("test.counted", "records every execution (test fixture)")
+def _counted(params, seed):
+    _CALL_LOG.append((dict(params), seed))
+    return {"x": params.get("x", 0), "seed": seed}
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+class TestCacheHits:
+    def test_same_params_and_seed_hit_with_identical_payload(self, cache):
+        runner = Runner(cache=cache)
+        spec = ExperimentSpec("test.echo", {"a": 1, "b": "x"}, seed=7)
+        cold = runner.run([spec])
+        warm = runner.run([spec])
+        assert not cold.manifest.records[0].cache_hit
+        assert warm.manifest.records[0].cache_hit
+        assert warm.payloads == cold.payloads
+
+    def test_warm_rerun_skips_execution(self, cache):
+        _CALL_LOG.clear()
+        runner = Runner(cache=cache)
+        specs = [ExperimentSpec("test.counted", {"x": i}, seed=i)
+                 for i in range(10)]
+        runner.run(specs)
+        executed_cold = len(_CALL_LOG)
+        warm = runner.run(specs)
+        assert executed_cold == 10
+        assert len(_CALL_LOG) == 10  # nothing re-executed
+        # the acceptance bar: a warm re-run skips >= 90% of executions
+        assert warm.manifest.cache_hit_rate >= 0.9
+
+    def test_param_order_does_not_change_key(self):
+        a = ExperimentSpec("test.echo", {"a": 1, "b": 2}, seed=0)
+        b = ExperimentSpec("test.echo", {"b": 2, "a": 1}, seed=0)
+        assert a.cache_key("v1") == b.cache_key("v1")
+
+
+class TestCacheMisses:
+    def test_changed_param_misses(self, cache):
+        runner = Runner(cache=cache)
+        runner.run([ExperimentSpec("test.echo", {"a": 1}, seed=7)])
+        res = runner.run([ExperimentSpec("test.echo", {"a": 2}, seed=7)])
+        assert not res.manifest.records[0].cache_hit
+        assert res.payloads[0]["params"] == {"a": 2}
+
+    def test_changed_seed_misses(self, cache):
+        runner = Runner(cache=cache)
+        runner.run([ExperimentSpec("test.echo", {"a": 1}, seed=7)])
+        res = runner.run([ExperimentSpec("test.echo", {"a": 1}, seed=8)])
+        assert not res.manifest.records[0].cache_hit
+        assert res.payloads[0]["seed"] == 8
+
+    def test_changed_code_version_misses(self, cache):
+        spec = ExperimentSpec("test.echo", {"a": 1}, seed=7)
+        v1 = Runner(cache=cache, code_version="v1")
+        v2 = Runner(cache=cache, code_version="v2")
+        assert not v1.run([spec]).manifest.records[0].cache_hit
+        assert v1.run([spec]).manifest.records[0].cache_hit
+        assert not v2.run([spec]).manifest.records[0].cache_hit
+
+    def test_force_reexecutes_but_refreshes(self, cache):
+        spec = ExperimentSpec("test.echo", {"a": 1}, seed=7)
+        Runner(cache=cache).run([spec])
+        forced = Runner(cache=cache, force=True).run([spec])
+        assert not forced.manifest.records[0].cache_hit
+        assert Runner(cache=cache).run([spec]).manifest.records[0].cache_hit
+
+
+class TestCorruption:
+    def _entry_path(self, cache, spec, runner):
+        record = runner.run([spec]).manifest.records[0]
+        return cache.path_for(record.cache_key)
+
+    def test_truncated_entry_recomputed(self, cache):
+        runner = Runner(cache=cache)
+        spec = ExperimentSpec("test.echo", {"a": 1}, seed=7)
+        path = self._entry_path(cache, spec, runner)
+        with open(path, "w") as fh:
+            fh.write('{"schema": 1, "key": "tru')  # torn write
+        res = runner.run([spec])
+        assert not res.manifest.records[0].cache_hit
+        assert cache.stats.corrupt == 1
+        assert res.payloads[0]["params"] == {"a": 1}
+        # the recomputed entry is valid again
+        assert runner.run([spec]).manifest.records[0].cache_hit
+
+    def test_bitflipped_payload_fails_checksum(self, cache):
+        runner = Runner(cache=cache)
+        spec = ExperimentSpec("test.echo", {"a": 1}, seed=7)
+        path = self._entry_path(cache, spec, runner)
+        with open(path) as fh:
+            entry = json.load(fh)
+        entry["payload"]["seed"] = 999  # payload no longer matches checksum
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        res = runner.run([spec])
+        assert not res.manifest.records[0].cache_hit
+        assert cache.stats.corrupt == 1
+        assert res.payloads[0]["seed"] == 7
+
+    def test_schema_drift_reads_as_miss(self, cache):
+        runner = Runner(cache=cache)
+        spec = ExperimentSpec("test.echo", {"a": 1}, seed=7)
+        path = self._entry_path(cache, spec, runner)
+        with open(path) as fh:
+            entry = json.load(fh)
+        entry["schema"] = 999
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        assert not runner.run([spec]).manifest.records[0].cache_hit
+
+
+class TestCacheManagement:
+    def test_invalidate_and_clear(self, cache):
+        runner = Runner(cache=cache)
+        specs = [ExperimentSpec("test.echo", {"a": i}, seed=i)
+                 for i in range(3)]
+        keys = [r.cache_key for r in runner.run(specs).manifest.records]
+        assert len(cache) == 3
+        assert cache.invalidate(keys[0])
+        assert not cache.invalidate(keys[0])  # already gone
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_no_cache_always_executes(self):
+        _CALL_LOG.clear()
+        runner = Runner(cache=None)
+        spec = ExperimentSpec("test.counted", {"x": 1}, seed=1)
+        runner.run([spec])
+        runner.run([spec])
+        assert len(_CALL_LOG) == 2
+
+    def test_put_is_atomic_no_tmp_litter(self, cache):
+        runner = Runner(cache=cache)
+        runner.run([ExperimentSpec("test.echo", {"a": 1}, seed=1)])
+        leftovers = [
+            f for root, _, files in os.walk(cache.root)
+            for f in files if f.endswith(".tmp")
+        ]
+        assert leftovers == []

@@ -71,6 +71,24 @@ class TestQueueTracker:
             qt.step([], 1.0)
         assert all(q >= 0 for q in qt.queues.values())
 
+    def test_history_bounded_by_max_entries(self, hpn_small):
+        qt = QueueTracker(hpn_small, max_entries=10)
+        for _ in range(25):
+            qt.step([], 0.01)
+        assert len(qt.history) == 10
+        assert qt.rolled_up_entries == 15
+        # the retained snapshots are the most recent ones
+        times = [t for t, _snap in qt.history]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(0.25)
+
+    def test_history_unbounded_by_default(self, hpn_small):
+        qt = QueueTracker(hpn_small)
+        for _ in range(25):
+            qt.step([], 0.01)
+        assert len(qt.history) == 25
+        assert qt.rolled_up_entries == 0
+
     def test_series_of_port_history(self, hpn_small, hpn_router):
         flows = _flows_to_one_nic(hpn_small, hpn_router, 4)
         qt = QueueTracker(hpn_small)
