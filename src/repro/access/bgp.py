@@ -19,10 +19,12 @@ what the fault-injection benchmarks charge against training throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional
 
 from ..core.entities import Nic
 from ..core.topology import Topology
+from ..obs import RingBuffer
+from ..obs import resolve as _obs_resolve
 
 #: defaults calibrated to production-style timers
 DEFAULT_DETECT_DELAY_S = 0.05     # link-fault signaling / BFD
@@ -47,22 +49,28 @@ class FailoverTimeline:
     convergence_delay_s: float = DEFAULT_CONVERGENCE_DELAY_S
     #: (link_id) -> RouteState for the /32 riding that access link
     _state: Dict[int, RouteState] = field(default_factory=dict)
-    log: List[Tuple[float, str]] = field(default_factory=list)
+    #: ``(time, message)`` lines, newest-N retained via the shared ring
+    log: RingBuffer = field(default_factory=RingBuffer)
     #: bound on retained log lines (None = unbounded); long engine-driven
     #: fault campaigns set this so the log cannot grow without limit --
     #: oldest lines roll off and are counted in ``rolled_up_entries``
     max_entries: Optional[int] = None
-    rolled_up_entries: int = 0
+    #: injectable recorder; None defers to the process-wide one
+    recorder: Optional[object] = None
+
+    @property
+    def rolled_up_entries(self) -> int:
+        """Log lines that aged past ``max_entries`` and were dropped."""
+        return self.log.rolled_off
 
     def _ensure(self, link_id: int) -> RouteState:
         return self._state.setdefault(link_id, RouteState())
 
     def _log(self, at_s: float, message: str) -> None:
+        # the shared ring buffer owns the bounding logic; sync the bound
+        # each append so callers may tighten max_entries mid-run
+        self.log.max_entries = self.max_entries
         self.log.append((at_s, message))
-        if self.max_entries is not None and len(self.log) > self.max_entries:
-            excess = len(self.log) - self.max_entries
-            del self.log[:excess]
-            self.rolled_up_entries += excess
 
     @property
     def blackhole_window(self) -> float:
@@ -77,6 +85,14 @@ class FailoverTimeline:
         state.advertised = False
         state.transition_at = done
         self._log(now, f"link {link_id} down, /32 withdrawal by {done:.3f}")
+        rec = _obs_resolve(self.recorder)
+        if rec is not None:
+            rec.metrics.counter("bgp.withdrawals").inc()
+            rec.events.span(
+                "bgp.blackhole", now, done, track="failover",
+                link_id=link_id, detect_delay_s=self.detect_delay_s,
+                convergence_delay_s=self.convergence_delay_s,
+            )
         return done
 
     def recover_access_link(self, link_id: int, now: float) -> float:
@@ -86,6 +102,14 @@ class FailoverTimeline:
         state.advertised = True
         state.transition_at = done
         self._log(now, f"link {link_id} up, /32 restored by {done:.3f}")
+        rec = _obs_resolve(self.recorder)
+        if rec is not None:
+            rec.metrics.counter("bgp.restorations").inc()
+            rec.events.span(
+                "bgp.restore", now, done, track="failover",
+                link_id=link_id,
+                convergence_delay_s=self.convergence_delay_s,
+            )
         return done
 
     # ------------------------------------------------------------------

@@ -13,7 +13,10 @@ Commands:
 * ``exp``        -- the experiment engine: ``exp list`` (catalogue),
                     ``exp run`` (schedule a cached, seeded batch over
                     the serial or process backend), ``exp compare``
-                    (diff two run manifests ignoring timing).
+                    (diff two run manifests ignoring timing);
+* ``trace``      -- run one experiment under the observability
+                    recorder and export Chrome-trace / metrics /
+                    events artifacts (open the trace in Perfetto).
 
 The CLI exists so the library is usable without writing Python; every
 command is a thin veneer over the public API.
@@ -317,6 +320,41 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .engine import Runner, get_experiment
+    from .obs import summary_table
+
+    fixed = _parse_assignments(args.set, split_values=False)
+    try:
+        spec = get_experiment(args.kind).spec(seed=args.seed, **fixed)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # no cache: a cache hit would skip execution and record nothing
+    runner = Runner(
+        cache=None,
+        backend="serial",
+        manifest_dir=args.out_dir,
+        trace_dir=args.out_dir,
+    )
+    result = runner.run([spec])
+    manifest = result.manifest
+    if args.format == "json":
+        print(manifest.to_json())
+        return 0
+    assert result.recorder is not None
+    print(f"{args.kind} seed={args.seed} traced in "
+          f"{manifest.wall_time_s:.2f}s")
+    print(summary_table(result.recorder, max_rows=args.max_rows))
+    for name in sorted(manifest.artifacts):
+        print(f"{name:>8}: {manifest.artifacts[name]}")
+    if result.manifest_path:
+        print(f"manifest: {result.manifest_path}")
+    print("open the trace at https://ui.perfetto.dev "
+          "(or chrome://tracing)")
+    return 0
+
+
 def cmd_exp_compare(args: argparse.Namespace) -> int:
     from .engine import compare_manifests, load_manifest
 
@@ -431,6 +469,22 @@ def make_parser() -> argparse.ArgumentParser:
     q.add_argument("first")
     q.add_argument("second")
     q.set_defaults(func=cmd_exp_compare)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one experiment under the recorder, export a "
+             "Perfetto-compatible trace",
+    )
+    p.add_argument("kind", help="experiment name (see `exp list`)")
+    p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                   help="fix one param (repeatable)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-dir", default=".repro/traces",
+                   help="where trace/metrics/events artifacts land")
+    p.add_argument("--max-rows", type=int, default=40,
+                   help="metric series rows in the summary table")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=cmd_trace)
     return parser
 
 

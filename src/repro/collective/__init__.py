@@ -24,6 +24,7 @@ from .model import (
 from .multiallreduce import MultiAllReduceResult, multi_allreduce
 from .reducescatter import reduce_scatter
 from .sendrecv import SendRecvResult, pipeline_exchange, send_recv
+from .tracing import record_alltoall, record_stages
 from .tree import auto_allreduce, tree_allreduce
 
 __all__ = [
@@ -53,6 +54,8 @@ __all__ = [
     "establish_conns",
     "multi_allreduce",
     "pipeline_exchange",
+    "record_alltoall",
+    "record_stages",
     "ring_allgather_edge_bytes",
     "ring_allreduce_edge_bytes",
     "send_recv",

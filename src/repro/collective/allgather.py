@@ -13,6 +13,7 @@ from ..fabric.simulator import FluidSimulator
 from .allreduce import CollectiveResult
 from .comm import Communicator
 from .model import ring_allgather_edge_bytes
+from .tracing import record_stages
 
 
 def allgather(comm: Communicator, size_bytes: float) -> CollectiveResult:
@@ -34,7 +35,7 @@ def allgather(comm: Communicator, size_bytes: float) -> CollectiveResult:
         # AllGather runs half the steps of AllReduce
         inter = sim.run().finish_time + profile.ring_latency_seconds(h) / 2
     intra = profile.intra_allgather_time(size_bytes, g)
-    return CollectiveResult(
+    result = CollectiveResult(
         op="allgather",
         size_bytes=size_bytes,
         world_size=comm.world_size,
@@ -42,3 +43,5 @@ def allgather(comm: Communicator, size_bytes: float) -> CollectiveResult:
         inter_seconds=inter,
         pipelined=True,  # chunked rings overlap the two stages
     )
+    record_stages(result)
+    return result

@@ -20,6 +20,7 @@ from ..core.errors import CollectiveError
 from ..fabric.simulator import FluidSimulator
 from .comm import Communicator
 from .model import allreduce_busbw, ring_allreduce_edge_bytes
+from .tracing import record_stages
 
 
 @dataclass
@@ -78,10 +79,12 @@ def allreduce(comm: Communicator, size_bytes: float) -> CollectiveResult:
         inter = sim.run().finish_time + profile.ring_latency_seconds(h)
     # the closing intra-host AllGather also rides NVLS
     intra += profile.intra_reduce_scatter_time(size_bytes, g)
-    return CollectiveResult(
+    result = CollectiveResult(
         op="allreduce",
         size_bytes=size_bytes,
         world_size=comm.world_size,
         intra_seconds=intra,
         inter_seconds=inter,
     )
+    record_stages(result)
+    return result

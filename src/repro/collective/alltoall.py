@@ -20,6 +20,7 @@ from ..core.errors import CollectiveError
 from ..fabric.simulator import FluidSimulator
 from ..topos.railonly import cross_rail_reachable
 from .comm import Communicator
+from .tracing import record_alltoall
 
 
 @dataclass
@@ -83,9 +84,11 @@ def all_to_all(comm: Communicator, size_bytes: float) -> AllToAllResult:
         relay_seconds = comm.profile.intra_p2p_time(
             relay_bytes_per_host / max(1, comm.num_hosts)
         )
-    return AllToAllResult(
+    result = AllToAllResult(
         size_bytes=size_bytes,
         world_size=world,
         network_seconds=network_seconds,
         relay_seconds=relay_seconds,
     )
+    record_alltoall(result)
+    return result

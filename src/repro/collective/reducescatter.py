@@ -14,6 +14,7 @@ from ..fabric.simulator import FluidSimulator
 from .allreduce import CollectiveResult
 from .comm import Communicator
 from .model import ring_allgather_edge_bytes
+from .tracing import record_stages
 
 
 def reduce_scatter(comm: Communicator, size_bytes: float) -> CollectiveResult:
@@ -34,10 +35,12 @@ def reduce_scatter(comm: Communicator, size_bytes: float) -> CollectiveResult:
         sim = FluidSimulator(comm.topo)
         sim.add_flows(flows)
         inter = sim.run().finish_time + profile.ring_latency_seconds(h) / 2
-    return CollectiveResult(
+    result = CollectiveResult(
         op="allgather",  # same (n-1)/n busbw normalization
         size_bytes=size_bytes,
         world_size=comm.world_size,
         intra_seconds=intra,
         inter_seconds=inter,
     )
+    record_stages(result)
+    return result

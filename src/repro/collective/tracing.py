@@ -1,0 +1,72 @@
+"""Step-boundary tracing for collective operations.
+
+Each collective returns a timing breakdown; these helpers render that
+breakdown as spans on the ``collective`` track of the active (or
+injected) recorder, so a Chrome trace shows where a step's wall-clock
+went -- intra-host NVLink time vs inter-host fabric time, and for
+all-to-all the rail-only relay penalty.
+
+Span geometry follows the result's own composition rule: pipelined
+operations overlap their stages (both spans start at 0), serialized
+ones lay them end to end.
+"""
+
+from __future__ import annotations
+
+from ..obs import resolve as _obs_resolve
+
+
+def record_stages(result, recorder=None, start_s: float = 0.0) -> None:
+    """Record a :class:`CollectiveResult`'s stages as spans.
+
+    No-op when observability is disabled. ``start_s`` offsets the whole
+    operation, letting callers lay successive steps on one timeline.
+    """
+    rec = _obs_resolve(recorder)
+    if rec is None:
+        return
+    op = result.op
+    intra = result.intra_seconds
+    inter = result.inter_seconds
+    if result.pipelined:
+        inter_start = start_s
+    else:
+        inter_start = start_s + intra
+    ev = rec.events
+    ev.span(
+        f"{op}.intra", start_s, start_s + intra, track="collective",
+        size_bytes=result.size_bytes, world_size=result.world_size,
+    )
+    ev.span(
+        f"{op}.inter", inter_start, inter_start + inter, track="collective",
+        size_bytes=result.size_bytes, world_size=result.world_size,
+        pipelined=result.pipelined,
+    )
+    m = rec.metrics
+    m.counter("collective.ops", op=op).inc()
+    m.gauge("collective.busbw_gbps", op=op).set(
+        result.busbw_gb_per_sec, ts_s=start_s + result.seconds
+    )
+
+
+def record_alltoall(result, recorder=None, start_s: float = 0.0) -> None:
+    """Record an :class:`AllToAllResult` as network + relay spans."""
+    rec = _obs_resolve(recorder)
+    if rec is None:
+        return
+    ev = rec.events
+    net_end = start_s + result.network_seconds
+    ev.span(
+        "alltoall.network", start_s, net_end, track="collective",
+        size_bytes=result.size_bytes, world_size=result.world_size,
+    )
+    if result.relay_seconds > 0:
+        ev.span(
+            "alltoall.relay", net_end, net_end + result.relay_seconds,
+            track="collective", size_bytes=result.size_bytes,
+        )
+    m = rec.metrics
+    m.counter("collective.ops", op="alltoall").inc()
+    m.gauge("collective.busbw_gbps", op="alltoall").set(
+        result.busbw_gb_per_sec, ts_s=start_s + result.seconds
+    )

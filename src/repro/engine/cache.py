@@ -26,6 +26,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional
 
 from ..core.serialize import stable_json_dumps
+from ..obs import get_logger
+
+_log = get_logger("engine.cache")
 
 #: bumped on cache entry format changes; mismatched entries read as misses
 ENTRY_SCHEMA = 1
@@ -150,6 +153,7 @@ class ResultCache:
     def _drop_corrupt(self, path: str) -> None:
         self.stats.corrupt += 1
         self.stats.misses += 1
+        _log.warning("dropping corrupt cache entry %s", path)
         try:
             os.unlink(path)
         except OSError:

@@ -65,6 +65,10 @@ class RunManifest:
     started_at_s: float = 0.0
     finished_at_s: float = 0.0
     records: List[ExperimentRecord] = field(default_factory=list)
+    #: attached observability artifacts, name -> path (e.g. ``trace``,
+    #: ``metrics``, ``events``); excluded from the canonical form --
+    #: traces are a run circumstance, not a result
+    artifacts: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -88,6 +92,7 @@ class RunManifest:
             "finished_at_s": self.finished_at_s,
             "cache_hit_rate": self.cache_hit_rate,
             "records": [asdict(r) for r in self.records],
+            "artifacts": dict(self.artifacts),
         }
 
     def to_json(self) -> str:
@@ -133,6 +138,7 @@ def load_manifest(path: str) -> RunManifest:
             started_at_s=data.get("started_at_s", 0.0),
             finished_at_s=data.get("finished_at_s", 0.0),
             records=records,
+            artifacts=data.get("artifacts", {}),
         )
     except (KeyError, TypeError) as exc:
         raise EngineError(f"malformed manifest {path!r}: {exc}") from exc

@@ -38,6 +38,13 @@ from typing import (
 from .. import __version__
 from ..core.errors import EngineError
 from ..core.serialize import to_jsonable
+from ..obs import (
+    Recorder,
+    set_recorder,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_snapshot,
+)
 from .cache import ResultCache
 from .manifest import ExperimentRecord, RunManifest
 from .spec import ExperimentSpec, get_experiment, specs_for_grid
@@ -66,6 +73,8 @@ class RunResult:
     payloads: List[Mapping[str, Any]]
     manifest: RunManifest
     manifest_path: Optional[str] = None
+    #: the recorder that observed the batch (tracing runs only)
+    recorder: Optional[Recorder] = None
 
 
 def _execute(kind: str, params: Dict[str, Any], seed: int
@@ -102,12 +111,22 @@ class Runner:
     on_event: Optional[EventCallback] = None
     force: bool = False
     code_version: Optional[str] = None
+    #: when set, the batch runs under a process-wide Recorder and its
+    #: trace/metrics/events artifacts land in this directory (and are
+    #: referenced from the manifest). Serial backend only: the recorder
+    #: is per-process state that process workers would not share.
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise EngineError(
                 f"unknown backend {self.backend!r} "
                 f"(expected one of {', '.join(BACKENDS)})"
+            )
+        if self.trace_dir is not None and self.backend != "serial":
+            raise EngineError(
+                "tracing requires the serial backend: the recorder is "
+                "per-process state that process workers would not share"
             )
 
     # ------------------------------------------------------------------
@@ -146,8 +165,18 @@ class Runner:
             else:
                 misses.append(i)
 
+        recorder: Optional[Recorder] = None
+        if self.trace_dir is not None:
+            recorder = Recorder()
         if misses:
-            self._execute_misses(specs, misses, slots, total)
+            if recorder is not None:
+                previous = set_recorder(recorder)
+                try:
+                    self._execute_misses(specs, misses, slots, total)
+                finally:
+                    set_recorder(previous)
+            else:
+                self._execute_misses(specs, misses, slots, total)
 
         # assemble records in spec order; write misses through to cache
         payloads: List[Mapping[str, Any]] = []
@@ -174,11 +203,15 @@ class Runner:
             payloads.append(payload)
 
         manifest.finished_at_s = time.time()
+        if recorder is not None:
+            manifest.artifacts = self._write_artifacts(
+                recorder, manifest.run_id
+            )
         path = None
         if self.manifest_dir is not None:
             path = manifest.save(self.manifest_dir)
         return RunResult(payloads=payloads, manifest=manifest,
-                         manifest_path=path)
+                         manifest_path=path, recorder=recorder)
 
     # ------------------------------------------------------------------
     def run_grid(
@@ -195,6 +228,21 @@ class Runner:
         stable under reordering and across backends.
         """
         return self.run(specs_for_grid(kind, grid, base_seed, fixed))
+
+    # ------------------------------------------------------------------
+    def _write_artifacts(
+        self, recorder: Recorder, run_id: str
+    ) -> Dict[str, str]:
+        """Export the recorder's view of the batch next to the manifest."""
+        assert self.trace_dir is not None
+        os.makedirs(self.trace_dir, exist_ok=True)
+        trace = os.path.join(self.trace_dir, f"trace-{run_id}.json")
+        metrics = os.path.join(self.trace_dir, f"metrics-{run_id}.json")
+        events = os.path.join(self.trace_dir, f"events-{run_id}.jsonl")
+        write_chrome_trace(recorder, trace)
+        write_metrics_snapshot(recorder, metrics)
+        write_events_jsonl(recorder, events)
+        return {"trace": trace, "metrics": metrics, "events": events}
 
     # ------------------------------------------------------------------
     def _worker_count(self) -> int:

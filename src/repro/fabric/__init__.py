@@ -10,6 +10,7 @@ from .telemetry import (
     imbalance_ratio,
     jain_fairness,
     port_egress_gbps,
+    record_fabric_metrics,
     tor_ports_towards_nic,
     uplink_spread,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "jain_fairness",
     "max_min_rates",
     "port_egress_gbps",
+    "record_fabric_metrics",
     "run_flows",
     "tor_ports_towards_nic",
     "uplink_spread",

@@ -26,6 +26,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.topology import Topology
 from ..core.units import gbps_to_bytes_per_sec
+from ..obs import RingBuffer
+from ..obs import resolve as _obs_resolve
 from .flow import Flow
 
 
@@ -36,13 +38,20 @@ class QueueTracker:
     topo: Topology
     refine: int = 2
     queues: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
-    history: List[Tuple[float, Dict[int, float]]] = field(default_factory=list)
+    #: ``(time, {dirlink: bytes})`` snapshots, newest-N retained
+    history: RingBuffer = field(default_factory=RingBuffer)
     #: bound on retained history snapshots (None = unbounded); long
     #: engine-driven runs set this so memory stays flat -- oldest
     #: snapshots roll off and are counted in ``rolled_up_entries``
     max_entries: Optional[int] = None
-    rolled_up_entries: int = 0
+    #: injectable recorder; None defers to the process-wide one
+    recorder: Optional[object] = None
     _now: float = 0.0
+
+    @property
+    def rolled_up_entries(self) -> int:
+        """Snapshots that aged past ``max_entries`` and were dropped."""
+        return self.history.rolled_off
 
     def link_capacity(self, dirlink: int) -> float:
         link = self.topo.links[dirlink // 2]
@@ -97,11 +106,19 @@ class QueueTracker:
             q = self.queues[dl] + delta
             self.queues[dl] = max(0.0, q)
         self._now += dt
+        # the shared ring buffer owns the bounding logic; sync the bound
+        # each step so callers may tighten max_entries mid-run
+        self.history.max_entries = self.max_entries
         self.history.append((self._now, dict(self.queues)))
-        if self.max_entries is not None and len(self.history) > self.max_entries:
-            excess = len(self.history) - self.max_entries
-            del self.history[:excess]
-            self.rolled_up_entries += excess
+        rec = _obs_resolve(self.recorder)
+        if rec is not None:
+            rec.metrics.counter("queue.steps").inc()
+            rec.metrics.gauge("queue.total_bytes").set(
+                sum(self.queues.values()), ts_s=self._now
+            )
+            rec.metrics.gauge("queue.max_bytes").set(
+                self.max_queue(), ts_s=self._now
+            )
 
     # ------------------------------------------------------------------
     def queue_of_port(self, node: str, port_index: int) -> float:

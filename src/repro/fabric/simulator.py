@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from ..core.errors import SimulationError
 from ..core.topology import Topology
 from ..core.units import gbps_to_bytes_per_sec
+from ..obs import resolve as _obs_resolve
 from .flow import Flow
 
 #: numerical guard for "rate is zero"
@@ -35,11 +36,15 @@ _EPS = 1e-12
 def max_min_rates(
     flows: Iterable[Flow],
     link_gbps: Callable[[int], float],
+    on_bottleneck: Optional[Callable[[int, float, int], None]] = None,
 ) -> Dict[int, float]:
     """Max-min fair rate (Gbps) per flow id.
 
     ``link_gbps(dirlink)`` must return the capacity of a directed link;
     returning 0 marks the link down (its flows get rate 0).
+    ``on_bottleneck(dirlink, fair_share_gbps, flows_fixed)`` fires once
+    per progressive-filling iteration, when that iteration's bottleneck
+    link saturates -- the hook the simulator's observability rides.
     """
     flows = list(flows)
     link_flows: Dict[int, List[Flow]] = defaultdict(list)
@@ -77,6 +82,8 @@ def max_min_rates(
         newly_fixed = [
             f for f in link_flows[bottleneck] if f.flow_id not in rates
         ]
+        if on_bottleneck is not None:
+            on_bottleneck(bottleneck, share, len(newly_fixed))
         for f in newly_fixed:
             rates[f.flow_id] = share
             for dl in f.path.dirlinks:
@@ -127,7 +134,8 @@ class SimResult:
 class FluidSimulator:
     """Event-driven fluid simulator over one topology."""
 
-    def __init__(self, topo: Topology, sample_links: bool = False):
+    def __init__(self, topo: Topology, sample_links: bool = False,
+                 recorder=None):
         self.topo = topo
         self.sample_links = sample_links
         self.now = 0.0
@@ -138,6 +146,17 @@ class FluidSimulator:
         self._samples: List[Tuple[float, Dict[int, float]]] = []
         #: hook invoked after each rate solve: f(sim, rates)
         self.on_solve: Optional[Callable[["FluidSimulator", Dict[int, float]], None]] = None
+        # observability: explicit recorder wins over the process-wide
+        # one; disabled resolves to None so the hot loop pays one check
+        self._rec = _obs_resolve(recorder)
+        if self._rec is not None:
+            m = self._rec.metrics
+            self._m_solves = m.counter("sim.solves")
+            self._m_iterations = m.counter("sim.solver_iterations")
+            self._m_started = m.counter("sim.flows_started")
+            self._m_finished = m.counter("sim.flows_finished")
+            self._m_rate_changes = m.counter("sim.rate_changes")
+            self._tier_label: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     def link_gbps(self, dirlink: int) -> float:
@@ -161,10 +180,18 @@ class FluidSimulator:
 
     def _activate(self, flow: Flow) -> None:
         self._active[flow.flow_id] = flow
+        if self._rec is not None:
+            self._m_started.inc()
+            self._rec.events.instant(
+                "flow.start", self.now, track="flows",
+                flow_id=flow.flow_id, size_bytes=flow.size_bytes,
+                tag=flow.tag,
+            )
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> SimResult:
         """Run until all flows complete (and events drain) or ``until``."""
+        run_start_s = self.now
         while self._events or self._active:
             # release all events at the current frontier
             next_event_time = self._events[0].time if self._events else None
@@ -178,9 +205,25 @@ class FluidSimulator:
                 self._pop_due_events()
                 continue
 
-            rates = max_min_rates(self._active.values(), self.link_gbps)
+            rates = max_min_rates(
+                self._active.values(), self.link_gbps,
+                on_bottleneck=(
+                    self._record_bottleneck if self._rec is not None else None
+                ),
+            )
+            if self._rec is not None:
+                self._m_solves.inc()
+                for fid, flow in self._active.items():
+                    if abs(rates[fid] - flow.rate_gbps) > _EPS:
+                        self._m_rate_changes.inc()
+                        self._rec.events.instant(
+                            "flow.rate", self.now, track="flows",
+                            flow_id=fid, rate_gbps=rates[fid],
+                        )
             for fid, flow in self._active.items():
                 flow.rate_gbps = rates[fid]
+            if self._rec is not None:
+                self._record_link_util()
             if self.on_solve is not None:
                 self.on_solve(self, rates)
             if self.sample_links:
@@ -205,11 +248,62 @@ class FluidSimulator:
                 break
             self._pop_due_events()
 
+        if self._rec is not None:
+            self._rec.events.span(
+                "sim.run", run_start_s, self.now, track="sim",
+                flows_finished=len(self._flow_finish),
+            )
         return SimResult(
             finish_time=self.now,
             flow_finish=dict(self._flow_finish),
             samples=self._samples,
         )
+
+    # ------------------------------------------------------------------
+    def _record_bottleneck(self, dirlink: int, share_gbps: float,
+                           flows_fixed: int) -> None:
+        """Solver hook: one progressive-filling iteration saturated."""
+        self._m_iterations.inc()
+        self._rec.events.instant(
+            "link.saturated", self.now, track="links",
+            dirlink=dirlink, fair_share_gbps=share_gbps,
+            flows=flows_fixed,
+        )
+
+    def _dirlink_tier(self, dirlink: int) -> str:
+        """Tier label of a directed link: access / agg / core / tierN."""
+        label = self._tier_label.get(dirlink)
+        if label is None:
+            link = self.topo.links[dirlink // 2]
+            sa = self.topo.switches.get(link.a.node)
+            sb = self.topo.switches.get(link.b.node)
+            if sa is None or sb is None:
+                label = "access"
+            else:
+                top = max(sa.tier, sb.tier)
+                label = {2: "agg", 3: "core"}.get(top, f"tier{top}")
+            self._tier_label[dirlink] = label
+        return label
+
+    def _record_link_util(self) -> None:
+        """Sample per-tier peak link utilization after a rate solve."""
+        loads: Dict[int, float] = {}
+        for flow in self._active.values():
+            for dl in dict.fromkeys(flow.path.dirlinks):
+                loads[dl] = loads.get(dl, 0.0) + flow.rate_gbps
+        per_tier: Dict[str, float] = {}
+        for dl, load in loads.items():
+            cap = self.link_gbps(dl)
+            if cap <= _EPS:
+                continue
+            tier = self._dirlink_tier(dl)
+            util = load / cap
+            if util > per_tier.get(tier, 0.0):
+                per_tier[tier] = util
+        for tier, util in per_tier.items():
+            self._rec.metrics.gauge("link_util", tier=tier).set(
+                util, ts_s=self.now
+            )
 
     # ------------------------------------------------------------------
     def _min_completion_dt(self) -> float:
@@ -232,6 +326,13 @@ class FluidSimulator:
                 flow.finish_time = self.now
                 self._flow_finish[fid] = self.now
                 finished.append(fid)
+                if self._rec is not None:
+                    self._m_finished.inc()
+                    self._rec.events.span(
+                        "flow", flow.start_time, self.now, track="flows",
+                        flow_id=fid, size_bytes=flow.size_bytes,
+                        tag=flow.tag,
+                    )
         for fid in finished:
             del self._active[fid]
 

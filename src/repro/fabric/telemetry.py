@@ -8,7 +8,7 @@ per-port traffic towards a NIC (Figure 13), aggregation-switch ingress
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.entities import PortKind, SwitchRole
 from ..core.topology import Topology
@@ -16,11 +16,18 @@ from .flow import Flow
 
 
 def dirlink_loads(flows: Iterable[Flow], use_rate: bool = True) -> Dict[int, float]:
-    """Load per directed link: current rate (Gbps) or flow count."""
+    """Load per directed link: current rate (Gbps) or flow count.
+
+    A flow contributes to each directed link on its path **once**, even
+    if the path revisits a link -- possible when mis-wirings injected
+    with :func:`~repro.telemetry.probes.swap_access_links` bend a walk
+    back on itself. A flow's rate occupies such a link once, not per
+    visit, so duplicates are collapsed (in first-traversal order).
+    """
     loads: Dict[int, float] = defaultdict(float)
     for f in flows:
         weight = f.rate_gbps if use_rate else 1.0
-        for dl in f.path.dirlinks:
+        for dl in dict.fromkeys(f.path.dirlinks):
             loads[dl] += weight
     return dict(loads)
 
@@ -106,3 +113,45 @@ def jain_fairness(values: Iterable[float]) -> float:
     if den == 0:
         return 1.0
     return num / den
+
+
+# ----------------------------------------------------------------------
+# derived metric views (repro.obs)
+# ----------------------------------------------------------------------
+def record_fabric_metrics(
+    recorder,
+    topo: Topology,
+    flows: Iterable[Flow],
+    ts_s: float = 0.0,
+    switches: Optional[Sequence[str]] = None,
+) -> None:
+    """Fold this module's imbalance summaries into a recorder.
+
+    The one-off helpers above stay usable standalone; this view renders
+    them as labeled gauge series -- the paper's Figure 13/15b panels as
+    metrics: total aggregation ingress, and per-switch uplink spread
+    imbalance (max/min ratio) + Jain fairness for every switch named in
+    ``switches`` (default: all aggregation switches).
+    """
+    from ..obs import resolve as _obs_resolve
+
+    rec = _obs_resolve(recorder)
+    if rec is None:
+        return
+    flows = list(flows)
+    reg = rec.metrics
+    reg.gauge("fabric.agg_ingress_gbps").set(
+        agg_ingress_gbps(topo, flows), ts_s=ts_s
+    )
+    if switches is None:
+        switches = sorted(
+            s.name for s in topo.switches_by_role(SwitchRole.AGG)
+        )
+    for name in switches:
+        spread = uplink_spread(topo, flows, name)
+        reg.gauge("fabric.uplink_imbalance", switch=name).set(
+            imbalance_ratio(spread), ts_s=ts_s
+        )
+        reg.gauge("fabric.jain_fairness", switch=name).set(
+            jain_fairness(spread), ts_s=ts_s
+        )

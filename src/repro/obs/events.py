@@ -1,0 +1,116 @@
+"""Structured event log: typed spans and instants in simulation time.
+
+Every event is stamped with *simulation* seconds (the timeline the
+fluid simulator advances), not wall clock, so a trace lines up with
+`SimResult` timings and failover windows exactly. Events carry a
+``track`` -- a named lane ("flows", "failover", "collective") that the
+Chrome-trace exporter renders as one thread row each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from .ring import RingBuffer
+
+#: event phases (mirrors the Chrome trace_event vocabulary)
+PHASE_INSTANT = "instant"
+PHASE_SPAN = "span"
+
+PHASES = (PHASE_INSTANT, PHASE_SPAN)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded happening: a point event or a completed span."""
+
+    name: str
+    ts_s: float
+    phase: str = PHASE_INSTANT
+    dur_s: float = 0.0
+    track: str = "default"
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.ts_s + self.dur_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "ts_s": self.ts_s,
+            "phase": self.phase,
+            "dur_s": self.dur_s,
+            "track": self.track,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Event":
+        phase = data.get("phase", PHASE_INSTANT)
+        if phase not in PHASES:
+            raise ValueError(f"unknown event phase {phase!r}")
+        return cls(
+            name=data["name"],
+            ts_s=float(data["ts_s"]),
+            phase=phase,
+            dur_s=float(data.get("dur_s", 0.0)),
+            track=data.get("track", "default"),
+            args=dict(data.get("args", {})),
+        )
+
+
+class EventLog:
+    """Bounded, append-only sequence of :class:`Event`."""
+
+    def __init__(self, max_entries: Optional[int] = None):
+        self._events: RingBuffer = RingBuffer(max_entries)
+
+    # -- recording -----------------------------------------------------
+    def record(self, event: Event) -> Event:
+        self._events.append(event)
+        return event
+
+    def instant(self, name: str, ts_s: float, track: str = "default",
+                **args: Any) -> Event:
+        """A point event: something happened at one simulated instant."""
+        return self.record(Event(name=name, ts_s=ts_s, track=track,
+                                 args=args))
+
+    def span(self, name: str, start_s: float, end_s: float,
+             track: str = "default", **args: Any) -> Event:
+        """A completed interval: [start_s, end_s] in simulation time."""
+        return self.record(Event(
+            name=name, ts_s=start_s, phase=PHASE_SPAN,
+            dur_s=max(0.0, end_s - start_s), track=track, args=args,
+        ))
+
+    # -- reads ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    @property
+    def rolled_off(self) -> int:
+        return self._events.rolled_off
+
+    def by_name(self, name: str):
+        return [e for e in self._events if e.name == name]
+
+    def by_track(self, track: str):
+        return [e for e in self._events if e.track == track]
+
+    def tracks(self):
+        """Distinct track names in first-seen order."""
+        seen, out = set(), []
+        for e in self._events:
+            if e.track not in seen:
+                seen.add(e.track)
+                out.append(e.track)
+        return out

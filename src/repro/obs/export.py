@@ -1,0 +1,218 @@
+"""Exporters: JSONL events, metrics snapshots, and Chrome trace_event.
+
+Three interchange formats for one recording:
+
+* **JSONL** -- one event per line; lossless round trip through
+  :func:`load_events_jsonl` (replay, diffing, ad-hoc jq);
+* **metrics snapshot** -- every series' current state as one JSON
+  object (the artifact a :class:`~repro.engine.manifest.RunManifest`
+  references), plus a fixed-width summary table for terminals;
+* **Chrome trace_event** -- the ``{"traceEvents": [...]}`` JSON that
+  Perfetto and ``chrome://tracing`` open directly. Spans become ``X``
+  (complete) events, instants become ``i``, gauge sample series and
+  counters become ``C`` counter tracks, and each event-log track gets a
+  named thread row via ``M`` metadata events.
+
+Timestamps are simulation seconds scaled to trace microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from .events import Event, EventLog
+from .metrics import Counter, Gauge, json_safe_number
+from .recorder import Recorder
+
+#: simulation seconds -> trace_event microseconds
+_US_PER_S = 1e6
+
+
+def _event_log(source: Union[Recorder, EventLog]) -> EventLog:
+    return source.events if isinstance(source, Recorder) else source
+
+
+# ----------------------------------------------------------------------
+# JSONL events
+# ----------------------------------------------------------------------
+def events_to_jsonl(source: Union[Recorder, EventLog]) -> str:
+    """One JSON object per line, in recording order."""
+    return "\n".join(
+        json.dumps(e.to_dict(), sort_keys=True) for e in _event_log(source)
+    )
+
+
+def write_events_jsonl(source: Union[Recorder, EventLog],
+                       path: str) -> str:
+    with open(path, "w") as fh:
+        text = events_to_jsonl(source)
+        fh.write(text)
+        if text:
+            fh.write("\n")
+    return path
+
+
+def load_events_jsonl(path: str) -> List[Event]:
+    """Inverse of :func:`write_events_jsonl` (lossless round trip)."""
+    events: List[Event] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# metrics snapshot + summary table
+# ----------------------------------------------------------------------
+def metrics_snapshot(recorder: Recorder) -> Dict[str, Any]:
+    """The full recorder snapshot (metrics + event bookkeeping)."""
+    return recorder.snapshot()
+
+
+def write_metrics_snapshot(recorder: Recorder, path: str) -> str:
+    with open(path, "w") as fh:
+        json.dump(metrics_snapshot(recorder), fh, indent=2, sort_keys=True)
+    return path
+
+
+def summary_table(recorder: Recorder, max_rows: Optional[int] = None) -> str:
+    """Fixed-width per-series summary for terminal output."""
+    rows: List[tuple] = []
+    for metric in recorder.metrics.series():
+        if isinstance(metric, Counter):
+            detail = f"{metric.value:g}"
+        elif isinstance(metric, Gauge):
+            detail = f"{metric.value:g} ({len(metric.samples)} samples)"
+        else:  # histogram
+            detail = (f"n={metric.count} mean={metric.mean:g} "
+                      f"max={metric.max_value if metric.count else 0:g}")
+        rows.append((metric.series, metric.kind, detail))
+    if max_rows is not None and len(rows) > max_rows:
+        hidden = len(rows) - max_rows
+        rows = rows[:max_rows] + [(f"... and {hidden} more series", "", "")]
+    if not rows:
+        return "no metric series recorded"
+    width = max(len(r[0]) for r in rows)
+    lines = [f"{name:<{width}}  {kind:<9} {detail}".rstrip()
+             for name, kind, detail in rows]
+    lines.append(
+        f"{len(recorder.metrics)} series, {len(recorder.events)} events "
+        f"({recorder.events.rolled_off} rolled off)"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def _safe_args(args: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: json_safe_number(v) if isinstance(v, float) else v
+            for k, v in args.items()}
+
+
+def chrome_trace(recorder: Recorder, pid: int = 1) -> Dict[str, Any]:
+    """Build the ``trace_event`` JSON object for one recording.
+
+    Open the written file directly in https://ui.perfetto.dev or
+    ``chrome://tracing``; each event-log track is one named thread row
+    and each metric series one counter track.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    tids = {track: i + 1 for i, track in
+            enumerate(recorder.events.tracks())}
+    for track, tid in tids.items():
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": track},
+        })
+
+    last_ts_us = 0.0
+    for event in recorder.events:
+        ts_us = event.ts_s * _US_PER_S
+        last_ts_us = max(last_ts_us, (event.end_s) * _US_PER_S)
+        entry: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.track,
+            "pid": pid,
+            "tid": tids.get(event.track, 0),
+            "ts": ts_us,
+            "args": _safe_args(dict(event.args)),
+        }
+        if event.phase == "span":
+            entry["ph"] = "X"
+            entry["dur"] = event.dur_s * _US_PER_S
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        trace_events.append(entry)
+
+    for metric in recorder.metrics.series():
+        if isinstance(metric, Gauge) and len(metric.samples):
+            for ts_s, value in metric.samples:
+                trace_events.append({
+                    "name": metric.series, "ph": "C", "pid": pid,
+                    "ts": ts_s * _US_PER_S,
+                    "args": {"value": json_safe_number(value)},
+                })
+        elif isinstance(metric, (Counter, Gauge)):
+            # scalar series: one terminal sample so the track exists
+            trace_events.append({
+                "name": metric.series, "ph": "C", "pid": pid,
+                "ts": last_ts_us,
+                "args": {"value": json_safe_number(metric.value)},
+            })
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "clock": "simulation-time",
+        },
+    }
+
+
+def write_chrome_trace(recorder: Recorder, path: str,
+                       pid: int = 1) -> str:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(recorder, pid=pid), fh)
+    return path
+
+
+def validate_chrome_trace(data: Dict[str, Any]) -> List[str]:
+    """Shape-check a trace_event object; returns problem strings.
+
+    Used by tests and the CI smoke job: every event needs ``name``,
+    ``ph``, and a numeric ``ts``; complete (``X``) events need a
+    numeric ``dur``; counter (``C``) events need numeric args.
+    """
+    problems: List[str] = []
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        if not ev.get("name"):
+            problems.append(f"event {i} has no name")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "C", "M", "B", "E"):
+            problems.append(f"event {i} has unknown ph {ph!r}")
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"event {i} ({ev.get('name')}) has no ts")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"event {i} ({ev.get('name')}) X without dur")
+        if ph == "C":
+            args = ev.get("args", {})
+            if not args or not all(
+                v is None or isinstance(v, (int, float))
+                for v in args.values()
+            ):
+                problems.append(
+                    f"event {i} ({ev.get('name')}) C with non-numeric args"
+                )
+    return problems

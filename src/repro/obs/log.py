@@ -1,0 +1,78 @@
+"""Observability-aware logging for library code.
+
+Library modules must not ``print()`` (lint rule LINT005); they log
+through :func:`get_logger`, which wraps a namespaced stdlib logger
+*and* mirrors warnings/errors into the active recorder's event log, so
+a trace shows "cache entry dropped" next to the simulation events it
+interleaved with. With no recorder installed and no logging handlers
+configured, a log call is as silent and cheap as stdlib logging.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Dict, Optional
+
+from .recorder import resolve
+
+#: all library loggers live under this namespace
+ROOT_LOGGER = "repro"
+
+#: log levels mirrored into the active recorder's event log
+MIRRORED_LEVELS = (logging.WARNING, logging.ERROR, logging.CRITICAL)
+
+
+class ObsLogger:
+    """A stdlib logger that also records into the active recorder."""
+
+    def __init__(self, name: str):
+        full = name if name == ROOT_LOGGER or name.startswith(
+            ROOT_LOGGER + ".") else f"{ROOT_LOGGER}.{name}"
+        self.name = full
+        self._logger = logging.getLogger(full)
+
+    # ------------------------------------------------------------------
+    def _log(self, level: int, message: str, *args: Any,
+             ts_s: float = 0.0, **fields: Any) -> None:
+        self._logger.log(level, message, *args)
+        if level not in MIRRORED_LEVELS:
+            return
+        rec = resolve()
+        if rec is None:
+            return
+        rendered = message % args if args else message
+        event_args: Dict[str, Any] = {"message": rendered,
+                                      "logger": self.name}
+        event_args.update(fields)
+        rec.events.instant(
+            f"log.{logging.getLevelName(level).lower()}", ts_s,
+            track="log", **event_args,
+        )
+        rec.metrics.counter(
+            "log.records", level=logging.getLevelName(level).lower()
+        ).inc()
+
+    def debug(self, message: str, *args: Any, **fields: Any) -> None:
+        self._log(logging.DEBUG, message, *args, **fields)
+
+    def info(self, message: str, *args: Any, **fields: Any) -> None:
+        self._log(logging.INFO, message, *args, **fields)
+
+    def warning(self, message: str, *args: Any, **fields: Any) -> None:
+        self._log(logging.WARNING, message, *args, **fields)
+
+    def error(self, message: str, *args: Any, **fields: Any) -> None:
+        self._log(logging.ERROR, message, *args, **fields)
+
+
+_LOGGERS: Dict[str, ObsLogger] = {}
+
+
+def get_logger(name: Optional[str] = None) -> ObsLogger:
+    """The library logger for ``name`` (usually ``__name__``)."""
+    key = name or ROOT_LOGGER
+    logger = _LOGGERS.get(key)
+    if logger is None:
+        logger = ObsLogger(key)
+        _LOGGERS[key] = logger
+    return logger

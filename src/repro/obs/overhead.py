@@ -1,0 +1,130 @@
+"""Disabled-instrumentation overhead benchmark (CI gate: <5%).
+
+Instrumenting hot paths is only free if a run with observability off
+stays as fast as one that never heard of it. This module times the
+``bench.allreduce`` scenario three ways:
+
+* **off** -- no recorder installed anywhere (the untraced baseline:
+  every instrumentation site resolves to ``None`` at construction);
+* **disabled** -- a :class:`~repro.obs.recorder.NullRecorder` installed
+  process-wide (what a user gets after ``set_recorder(NullRecorder())``;
+  resolution still collapses it to the no-op path);
+* **enabled** -- a live :class:`~repro.obs.recorder.Recorder` (full
+  tracing cost, reported for the docs, never gated).
+
+``python -m repro.obs.overhead --max-overhead 0.05`` exits non-zero
+when the disabled path exceeds the bound vs. the off baseline; min-of-N
+timing keeps the gate robust to scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from .recorder import NullRecorder, Recorder, set_recorder
+
+#: a small-but-real allreduce: enough simulator work to time reliably
+DEFAULT_SCENARIO = {"job_hosts": 4, "size_mb": 64}
+
+
+def _run_scenario(params: Dict[str, Any], seed: int = 0) -> None:
+    from ..engine.spec import get_experiment
+
+    get_experiment("bench.allreduce").fn(dict(params), seed)
+
+
+def _time_once(recorder: Optional[Recorder],
+               params: Dict[str, Any]) -> float:
+    previous = set_recorder(recorder)
+    try:
+        t0 = time.perf_counter()
+        _run_scenario(params)
+        return time.perf_counter() - t0
+    finally:
+        set_recorder(previous)
+
+
+def measure(repeats: int = 5,
+            params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Min-of-``repeats`` timings for off/disabled/enabled recording.
+
+    Modes are interleaved (off, disabled, enabled, off, ...) so cache
+    warm-up and machine drift hit all three equally. Returns seconds
+    per mode plus the overhead fractions vs. the off baseline.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    scenario = dict(DEFAULT_SCENARIO)
+    scenario.update(params or {})
+    _run_scenario(scenario)  # warm-up: imports, topology caches
+
+    times: Dict[str, List[float]] = {"off": [], "disabled": [],
+                                     "enabled": []}
+    for _ in range(repeats):
+        times["off"].append(_time_once(None, scenario))
+        times["disabled"].append(_time_once(NullRecorder(), scenario))
+        times["enabled"].append(_time_once(Recorder(), scenario))
+
+    off_s = min(times["off"])
+    disabled_s = min(times["disabled"])
+    enabled_s = min(times["enabled"])
+    return {
+        "scenario": scenario,
+        "repeats": repeats,
+        "off_s": off_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "disabled_overhead": (disabled_s - off_s) / off_s if off_s else 0.0,
+        "enabled_overhead": (enabled_s - off_s) / off_s if off_s else 0.0,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.overhead",
+        description="benchmark instrumentation overhead on bench.allreduce",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--job-hosts", type=int,
+                        default=DEFAULT_SCENARIO["job_hosts"])
+    parser.add_argument("--size-mb", type=float,
+                        default=DEFAULT_SCENARIO["size_mb"])
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        help="fail (exit 1) when the disabled-recorder "
+                             "path exceeds this fraction vs. baseline")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    args = parser.parse_args(argv)
+
+    result = measure(
+        repeats=args.repeats,
+        params={"job_hosts": args.job_hosts, "size_mb": args.size_mb},
+    )
+    if args.format == "json":
+        print(json.dumps(result, indent=2, sort_keys=True))  # repro: noqa[LINT005]
+    else:
+        print(  # repro: noqa[LINT005]
+            f"off {result['off_s']*1e3:.1f}ms | disabled "
+            f"{result['disabled_s']*1e3:.1f}ms "
+            f"({result['disabled_overhead']:+.1%}) | enabled "
+            f"{result['enabled_s']*1e3:.1f}ms "
+            f"({result['enabled_overhead']:+.1%})"
+        )
+    if (args.max_overhead is not None
+            and result["disabled_overhead"] > args.max_overhead):
+        print(  # repro: noqa[LINT005]
+            f"FAIL: disabled-recorder overhead "
+            f"{result['disabled_overhead']:.1%} exceeds "
+            f"{args.max_overhead:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

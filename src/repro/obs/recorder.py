@@ -1,0 +1,139 @@
+"""The recorder: one metrics registry + one event log, injectable.
+
+Observability is *off by default*: nothing is installed process-wide
+and instrumented hot paths resolve to ``None`` and skip all recording.
+There are two ways to turn it on:
+
+* **explicit injection** -- pass a :class:`Recorder` to the component
+  (``FluidSimulator(topo, recorder=rec)``), which wins over any global;
+* **process-wide install** -- ``set_recorder(rec)`` or the
+  ``recording()`` context manager, which instrumented constructors pick
+  up via :func:`resolve`.
+
+:class:`NullRecorder` exists for callers that want a recorder-shaped
+object with recording switched off; :func:`resolve` maps any disabled
+recorder to ``None`` so the hot-path guard stays a single ``is not
+None`` check -- that is the "<5% disabled overhead" contract the CI
+benchmark (:mod:`repro.obs.overhead`) enforces.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from .events import Event, EventLog
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: default bound on retained events (long traces roll the oldest off)
+DEFAULT_MAX_EVENTS = 100_000
+
+
+class Recorder:
+    """Process- or component-scoped sink for metrics and events."""
+
+    enabled = True
+
+    def __init__(self, max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+                 max_samples_per_series: Optional[int] = 10_000):
+        self.metrics = MetricsRegistry(max_samples_per_series)
+        self.events = EventLog(max_events)
+
+    # -- convenience passthroughs --------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self.metrics.histogram(name, **labels)
+
+    def instant(self, name: str, ts_s: float, track: str = "default",
+                **args: Any) -> Event:
+        return self.events.instant(name, ts_s, track=track, **args)
+
+    def span(self, name: str, start_s: float, end_s: float,
+             track: str = "default", **args: Any) -> Event:
+        return self.events.span(name, start_s, end_s, track=track, **args)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe summary: all metric series plus event bookkeeping."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "events": {
+                "recorded": len(self.events),
+                "rolled_off": self.events.rolled_off,
+                "tracks": self.events.tracks(),
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"Recorder({len(self.metrics)} series, "
+                f"{len(self.events)} events)")
+
+
+class NullRecorder(Recorder):
+    """A recorder with recording switched off.
+
+    Instrumented code never actually calls these methods --
+    :func:`resolve` maps disabled recorders to ``None`` -- but the
+    no-op API is kept complete so direct calls are also safe.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(max_events=0, max_samples_per_series=0)
+
+
+# ----------------------------------------------------------------------
+# process-wide installation
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Recorder] = None
+
+
+def get_recorder() -> Optional[Recorder]:
+    """The process-wide recorder, or None when observability is off."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Optional[Recorder]:
+    """Install (or clear, with None) the process-wide recorder.
+
+    Returns the previously installed recorder so callers can restore it.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    return previous
+
+
+def resolve(recorder: Optional[Recorder] = None) -> Optional[Recorder]:
+    """The recorder a hot path should record through, or None.
+
+    Explicit injection wins over the process-wide install; a disabled
+    recorder (e.g. :class:`NullRecorder`) resolves to None so every
+    instrumentation guard is one identity check.
+    """
+    rec = recorder if recorder is not None else _ACTIVE
+    if rec is None or not rec.enabled:
+        return None
+    return rec
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Install a recorder for the duration of a block::
+
+        with obs.recording() as rec:
+            run_flows(topo, flows)
+        rec.metrics.snapshot()
+    """
+    rec = recorder if recorder is not None else Recorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)

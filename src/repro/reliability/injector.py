@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.errors import ReproError, RoutingError
+from ..obs import resolve as _obs_resolve
 from ..training.job import TrainingJob
 from .failures import FaultEvent, FaultKind
 
@@ -66,9 +67,12 @@ class FaultInjector:
     crash_timeout_s: float = DEFAULT_CRASH_TIMEOUT_S
     reconnect_stall: float = DEFAULT_RECONNECT_STALL
     convergence: float = DEFAULT_CONVERGENCE
+    #: injectable recorder; None defers to the process-wide one
+    recorder: Optional[object] = None
 
     def run(self, events: Sequence[FaultEvent], duration: float) -> InjectionResult:
         topo = self.job.topo
+        rec = _obs_resolve(self.recorder)
         timeline: List[TimelinePoint] = []
         crashed = False
         crash_time: Optional[float] = None
@@ -105,6 +109,14 @@ class FaultInjector:
                     timeline.append(TimelinePoint(event.time, 0.0, "halted"))
                 else:
                     # blackhole window before BGP converges
+                    if rec is not None:
+                        rec.metrics.counter("inject.faults",
+                                            kind="link_down").inc()
+                        rec.events.span(
+                            "failover.convergence", event.time,
+                            event.time + self.convergence,
+                            track="failover", link=str(link),
+                        )
                     timeline.append(
                         TimelinePoint(event.time, 0.0, "convergence window")
                     )
@@ -122,12 +134,24 @@ class FaultInjector:
                         )
                         break
                     outage_since = None
+                    if rec is not None:
+                        rec.events.span(
+                            "failover.reconnect", event.time,
+                            event.time + self.reconnect_stall,
+                            track="failover", link=str(link),
+                        )
                     throughput(
                         "recovered after reconnect",
                         event.time + self.reconnect_stall,
                     )
                     pending_recovery_index = len(timeline) - 1
                 else:
+                    if rec is not None:
+                        rec.events.span(
+                            "failover.repair", event.time,
+                            event.time + self.convergence,
+                            track="failover", link=str(link),
+                        )
                     throughput("repaired", event.time + self.convergence)
             elif event.kind is FaultKind.TOR_DOWN:
                 topo.fail_node(event.switch)

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.entities import Link, Nic, Port, PortKind, Switch
 from ..core.errors import RoutingError
 from ..core.topology import Topology
+from ..obs import resolve as _obs_resolve
 from .hashing import FiveTuple, ecmp_index
 from .path import FlowPath, encode_dirlink
 
@@ -55,9 +56,13 @@ class AccessLeg:
 class Router:
     """Hop-by-hop ECMP router for one topology."""
 
-    def __init__(self, topo: Topology, per_port_core_hash: bool = True):
+    def __init__(self, topo: Topology, per_port_core_hash: bool = True,
+                 recorder=None):
         self.topo = topo
         self.per_port_core_hash = per_port_core_hash
+        # observability: per-tier hash-decision counters, resolved once
+        self._rec = _obs_resolve(recorder)
+        self._hash_counters: Dict[int, object] = {}
         #: >1 when the architecture physically isolates planes above tier 1
         self.planes: int = int(topo.meta.get("planes", 1))
         self.plane_isolated = self.planes > 1
@@ -140,6 +145,8 @@ class Router:
         if plane is None:
             plane = usable[0]
         elif plane not in usable:
+            if self._rec is not None:
+                self._rec.metrics.counter("ecmp.plane_failover").inc()
             plane = usable[0]  # dual-ToR failover to the surviving port
         return self._walk(src_nic, dst_nic, ft, plane)
 
@@ -257,6 +264,14 @@ class Router:
         dst_pod: int,
         ingress_port_index: int,
     ) -> Tuple[Port, Link]:
+        if self._rec is not None:
+            counter = self._hash_counters.get(sw.tier)
+            if counter is None:
+                counter = self._rec.metrics.counter(
+                    "ecmp.hash_decisions", tier=str(sw.tier)
+                )
+                self._hash_counters[sw.tier] = counter
+            counter.inc()
         if sw.tier == 3 and self.per_port_core_hash:
             # section 7: egress is a function of (ingress port, dst pod)
             # only -- 5-tuple irrelevant -- which kills core polarization.

@@ -24,6 +24,7 @@ from typing import List, Optional, Set
 
 from ..core.entities import Nic
 from ..core.errors import RoutingError
+from ..obs import resolve as _obs_resolve
 from .ecmp import Router
 from .hashing import FiveTuple
 from .path import FlowPath
@@ -76,8 +77,10 @@ def find_paths(
     """
     if num_paths < 1:
         raise ValueError("num_paths must be >= 1")
+    rec = _obs_resolve()
     result = DisjointPathSet()
     used: Set[int] = set()
+    unroutable = overlapped = 0
     for offset in range(sport_span):
         sport = sport_base + offset
         ft = FiveTuple(src_nic.ip, dst_nic.ip, sport, dport)
@@ -85,14 +88,26 @@ def find_paths(
         try:
             path = router.path_for(src_nic, dst_nic, ft, plane=plane)
         except RoutingError:
+            unroutable += 1
             continue
         interior = set(path.core_dirlinks())
         if interior & used:
+            overlapped += 1
             continue
         used |= interior
         result.probes.append(PathProbe(sport, ft, path))
         if len(result.probes) >= num_paths:
             break
+    if rec is not None:
+        m = rec.metrics
+        m.counter("repac.probes", outcome="kept").inc(len(result.probes))
+        m.counter("repac.probes", outcome="overlap").inc(overlapped)
+        m.counter("repac.probes", outcome="unroutable").inc(unroutable)
+        rec.events.instant(
+            "repac.path_set", 0.0, track="routing",
+            src=src_nic.name, dst=dst_nic.name,
+            attempts=result.attempts, kept=len(result.probes),
+        )
     if not result.probes:
         raise RoutingError(
             f"no path found from {src_nic.name} to {dst_nic.name}"

@@ -10,7 +10,10 @@ deterministic network simulator lives or dies by:
   randomness flows through an injected, seeded ``random.Random``;
 * ``LINT004`` -- numeric quantity fields carry a unit suffix
   (``_gbps``, ``_bytes``, ``_s``...), so 200 can never silently mean
-  200 *milliseconds* to one reader and 200 *gigabits* to another.
+  200 *milliseconds* to one reader and 200 *gigabits* to another;
+* ``LINT005`` -- no bare ``print()`` in library code under
+  ``src/repro/``; route output through :mod:`repro.obs`'s logger (the
+  CLI module, whose job *is* printing, is exempt).
 
 Suppression: append ``# repro: noqa`` (all rules) or
 ``# repro: noqa[LINT001,LINT003]`` (specific rules) to the offending
@@ -293,6 +296,35 @@ class UnitSuffixRule(LintRule):
                     f"{node.name}.{target.id} is a numeric quantity without "
                     "a unit suffix (_gbps, _bytes, _s, ...)",
                 )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# LINT005: no print() in library code
+# ----------------------------------------------------------------------
+#: basenames whose whole purpose is terminal output
+PRINT_EXEMPT_FILES = frozenset({"cli.py"})
+
+
+@lint_rule("LINT005", "no print() in library code", Severity.ERROR)
+class NoPrintRule(LintRule):
+    """Library modules must not write to stdout behind callers' backs;
+    use ``repro.obs.get_logger(...)`` (which also mirrors warnings into
+    the active recorder). ``cli.py`` is exempt -- printing is its job."""
+
+    def run(self) -> None:
+        if os.path.basename(self.ctx.path) in PRINT_EXEMPT_FILES:
+            return
+        super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            self.emit(
+                node,
+                "print() in library code; use repro.obs.get_logger() "
+                "(or move the output to the CLI layer)",
+            )
         self.generic_visit(node)
 
 

@@ -1,0 +1,222 @@
+"""repro.obs core: ring buffer, metrics registry, event log, recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    EventLog,
+    Gauge,
+    MetricsRegistry,
+    NullRecorder,
+    Recorder,
+    RingBuffer,
+    get_recorder,
+    recording,
+    resolve,
+    series_name,
+    set_recorder,
+)
+
+
+# ----------------------------------------------------------------------
+# RingBuffer
+# ----------------------------------------------------------------------
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        ring = RingBuffer()
+        ring.extend(range(1000))
+        assert len(ring) == 1000
+        assert ring.rolled_off == 0
+
+    def test_bound_evicts_oldest(self):
+        ring = RingBuffer(max_entries=3)
+        ring.extend([1, 2, 3, 4, 5])
+        assert ring == [3, 4, 5]
+        assert ring.rolled_off == 2
+
+    def test_mutable_bound_reread_on_append(self):
+        ring = RingBuffer()
+        ring.extend(range(10))
+        ring.max_entries = 4
+        ring.append(10)  # bound applies now: 11 items -> keep newest 4
+        assert len(ring) == 4
+        assert ring == [7, 8, 9, 10]
+        assert ring.rolled_off == 7
+
+    def test_list_like_reads(self):
+        ring = RingBuffer()
+        ring.extend("abc")
+        assert ring[0] == "a"
+        assert ring[-1] == "c"
+        assert ring[1:] == ["b", "c"]
+        assert list(ring) == ["a", "b", "c"]
+        assert bool(ring)
+        assert not RingBuffer()
+
+    def test_eq_against_list_and_ring(self):
+        a = RingBuffer()
+        a.extend([1, 2])
+        b = RingBuffer(max_entries=10)
+        b.extend([1, 2])
+        assert a == [1, 2]
+        assert a == (1, 2)
+        assert a == b
+        assert a != [2, 1]
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_series_name_sorts_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("link_util", tier="agg", plane=1)
+        assert c.series == "link_util{plane=1,tier=agg}"
+        assert series_name("x", ()) == "x"
+
+    def test_get_or_create_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", tier="agg")
+        b = reg.counter("hits", tier="agg")
+        assert a is b
+        a.inc()
+        a.inc(2.5)
+        assert b.value == 3.5
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_gauge_samples_bounded(self):
+        reg = MetricsRegistry(max_samples_per_series=3)
+        g = reg.gauge("util")
+        for i in range(6):
+            g.set(float(i), ts_s=float(i))
+        assert g.value == 5.0
+        assert list(g.samples) == [(3.0, 3.0), (4.0, 4.0), (5.0, 5.0)]
+
+    def test_gauge_set_without_ts_keeps_no_sample(self):
+        g = MetricsRegistry().gauge("x")
+        g.set(7.0)
+        assert g.value == 7.0
+        assert len(g.samples) == 0
+
+    def test_histogram_buckets_and_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.mean == pytest.approx(55.5 / 3)
+        assert h.min_value == 0.5
+        assert h.max_value == 50.0
+
+    def test_snapshot_json_safe(self):
+        reg = MetricsRegistry()
+        reg.gauge("inf").set(float("inf"))
+        reg.counter("n").inc()
+        snap = reg.snapshot()
+        assert snap["inf"]["value"] is None
+        assert snap["n"] == {"kind": "counter", "value": 1.0}
+
+    def test_series_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert [m.series for m in reg.series()] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_instant_and_span(self):
+        log = EventLog()
+        log.instant("flow.start", 1.5, track="flows", flow_id=7)
+        span = log.span("sim.run", 0.0, 2.0, track="sim")
+        assert len(log) == 2
+        assert log[0].phase == "instant"
+        assert log[0].args["flow_id"] == 7
+        assert span.dur_s == 2.0
+        assert span.end_s == 2.0
+
+    def test_span_negative_duration_clamped(self):
+        log = EventLog()
+        span = log.span("x", 5.0, 3.0)
+        assert span.dur_s == 0.0
+
+    def test_queries(self):
+        log = EventLog()
+        log.instant("a", 0.0, track="t1")
+        log.instant("b", 1.0, track="t2")
+        log.instant("a", 2.0, track="t2")
+        assert len(log.by_name("a")) == 2
+        assert len(log.by_track("t2")) == 2
+        assert log.tracks() == ["t1", "t2"]
+
+    def test_bounded_rolloff(self):
+        log = EventLog(max_entries=2)
+        for i in range(5):
+            log.instant("e", float(i))
+        assert len(log) == 2
+        assert log.rolled_off == 3
+        assert log[0].ts_s == 3.0
+
+
+# ----------------------------------------------------------------------
+# recorder resolution
+# ----------------------------------------------------------------------
+class TestRecorder:
+    def test_off_by_default(self):
+        assert get_recorder() is None
+        assert resolve() is None
+
+    def test_explicit_injection_wins_over_global(self):
+        injected = Recorder()
+        installed = Recorder()
+        previous = set_recorder(installed)
+        try:
+            assert resolve() is installed
+            assert resolve(injected) is injected
+        finally:
+            set_recorder(previous)
+
+    def test_disabled_resolves_to_none(self):
+        assert resolve(NullRecorder()) is None
+        previous = set_recorder(NullRecorder())
+        try:
+            assert resolve() is None
+        finally:
+            set_recorder(previous)
+
+    def test_recording_context_installs_and_restores(self):
+        assert get_recorder() is None
+        with recording() as rec:
+            assert get_recorder() is rec
+            rec.counter("x").inc()
+        assert get_recorder() is None
+        assert rec.metrics.counter("x").value == 1.0
+
+    def test_passthroughs_and_snapshot(self):
+        rec = Recorder()
+        rec.counter("c", tier="agg").inc()
+        rec.gauge("g").set(2.0, ts_s=1.0)
+        rec.histogram("h").observe(0.5)
+        rec.instant("i", 0.0, track="a")
+        rec.span("s", 0.0, 1.0, track="b")
+        snap = rec.snapshot()
+        assert set(snap) == {"metrics", "events"}
+        assert snap["events"]["recorded"] == 2
+        assert snap["events"]["tracks"] == ["a", "b"]
+        assert "c{tier=agg}" in snap["metrics"]
+
+    def test_null_recorder_api_is_safe(self):
+        rec = NullRecorder()
+        rec.counter("x").inc()
+        rec.instant("e", 0.0)
+        assert not rec.enabled

@@ -1,0 +1,111 @@
+"""Engine/CLI integration of observability: trace_dir, artifacts,
+manifest round trip, and the `repro trace` command."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import EngineError
+from repro.engine import Runner, get_experiment, load_manifest
+from repro.obs import get_recorder, load_events_jsonl, validate_chrome_trace
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def _spec():
+    return get_experiment("bench.allreduce").spec(
+        seed=0, job_hosts=4, size_mb=8
+    )
+
+
+class TestRunnerTracing:
+    def test_trace_dir_writes_artifacts(self, tmp_path):
+        runner = Runner(cache=None, trace_dir=str(tmp_path))
+        result = runner.run([_spec()])
+        artifacts = result.manifest.artifacts
+        assert set(artifacts) == {"trace", "metrics", "events"}
+        for path in artifacts.values():
+            assert os.path.isfile(path)
+
+        trace = json.loads(open(artifacts["trace"]).read())
+        assert validate_chrome_trace(trace) == []
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        events = load_events_jsonl(artifacts["events"])
+        assert events == list(result.recorder.events)
+        metrics = json.loads(open(artifacts["metrics"]).read())
+        assert metrics["metrics"]["sim.solves"]["value"] >= 1
+
+    def test_recorder_uninstalled_after_run(self, tmp_path):
+        assert get_recorder() is None
+        Runner(cache=None, trace_dir=str(tmp_path)).run([_spec()])
+        assert get_recorder() is None
+
+    def test_no_trace_dir_means_no_recorder(self):
+        result = Runner(cache=None).run([_spec()])
+        assert result.recorder is None
+        assert result.manifest.artifacts == {}
+
+    def test_trace_requires_serial_backend(self, tmp_path):
+        with pytest.raises(EngineError, match="serial"):
+            Runner(backend="process", trace_dir=str(tmp_path))
+
+    def test_manifest_artifacts_round_trip(self, tmp_path):
+        runner = Runner(cache=None, trace_dir=str(tmp_path),
+                        manifest_dir=str(tmp_path))
+        result = runner.run([_spec()])
+        loaded = load_manifest(result.manifest_path)
+        assert loaded.artifacts == result.manifest.artifacts
+        # artifacts are run circumstance, not results: canonical form
+        # of a traced and an untraced run must match
+        untraced = Runner(cache=None).run([_spec()])
+        assert (loaded.canonical_json()
+                == untraced.manifest.canonical_json())
+
+
+class TestTraceCli:
+    def test_text_output_and_artifacts(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "trace", "bench.allreduce",
+            "--set", "job_hosts=4", "--set", "size_mb=8",
+            "--out-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "sim.solves" in out
+        assert "trace:" in out
+        assert "perfetto" in out.lower()
+
+    def test_json_output_references_valid_artifacts(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "trace", "drill.link-failure",
+            "--set", "duration_s=80", "--set", "microbatches=4",
+            "--out-dir", str(tmp_path), "--format", "json",
+        )
+        assert code == 0
+        manifest = json.loads(out)
+        trace = json.loads(open(manifest["artifacts"]["trace"]).read())
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        # acceptance: simulator spans, failover spans, >=3 labeled series
+        assert any(e["ph"] == "X" and e.get("cat") == "sim"
+                   for e in events)
+        assert any(e["ph"] == "X" and e.get("cat") == "failover"
+                   for e in events)
+        labeled = {e["name"] for e in events
+                   if e["ph"] == "C" and "{" in e["name"]}
+        assert len(labeled) >= 3
+
+    def test_unknown_experiment_fails_cleanly(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "trace", "no.such.experiment",
+            "--out-dir", str(tmp_path),
+        )
+        assert code == 2
+        assert "error" in err

@@ -169,6 +169,46 @@ class TestLint004UnitSuffix:
         assert suppressed_ids(report) == ["LINT004"]
 
 
+class TestLint005NoPrint:
+    def test_bare_print_flagged(self):
+        report = lint('print("debug")\n')
+        assert active_ids(report) == ["LINT005"]
+        assert "repro.obs.get_logger" in report.errors[0].message
+
+    def test_print_inside_function_flagged(self):
+        report = lint(
+            """
+            def solve():
+                print("iterating")
+            """
+        )
+        assert active_ids(report) == ["LINT005"]
+
+    def test_logger_call_is_fine(self):
+        report = lint(
+            """
+            from repro.obs import get_logger
+            log = get_logger(__name__)
+            log.warning("dropped entry")
+            """
+        )
+        assert not report.diagnostics
+
+    def test_method_named_print_is_fine(self):
+        report = lint("obj.print()\n")
+        assert not report.diagnostics
+
+    def test_cli_module_exempt(self):
+        report = lint_source('print("usage: ...")\n', path="src/repro/cli.py",
+                             rule_ids=["LINT005"])
+        assert not report.diagnostics
+
+    def test_noqa_suppresses(self):
+        report = lint('print("bench result")  # repro: noqa[LINT005]\n')
+        assert report.ok
+        assert suppressed_ids(report) == ["LINT005"]
+
+
 class TestRunner:
     def test_syntax_error_becomes_lint000(self):
         report = lint("def broken(:\n")
