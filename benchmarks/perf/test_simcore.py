@@ -1,0 +1,114 @@
+"""Solver-core perf gate: incremental engine vs full-solve baseline.
+
+Two tiers of the same ``bench.simcore`` reference shape (one HPN
+segment, dual-plane rail-optimized AllReduce over many steps, an
+access-link failure/repair injected mid-run):
+
+* **smoke** (always on): ~1k flows, sub-second -- catches equivalence
+  drift and gross perf regressions on every run;
+* **reference** (``REPRO_PERF_FULL=1``): the paper-scale >=20k-flow
+  workload the CI ``perf-smoke`` job gates on (the full baseline alone
+  takes minutes, so it is opt-in locally).
+
+Each tier appends its payload to ``BENCH_simcore.json`` in the bench
+artifact dir (``REPRO_BENCH_DIR``, default ``benchmarks/.artifacts``)
+so the trajectory of speedups is recorded alongside the session's
+engine manifest and ``BENCH_trajectory.json`` row.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from conftest import report
+
+from repro.fabric.simbench import EQUIVALENCE_TOL, run_simcore
+
+#: the CI gate -- the incremental engine must beat the pre-existing
+#: full-solve path by at least this factor on the reference workload
+MIN_SPEEDUP = 3.0
+
+SMOKE_PARAMS = {
+    "hosts": 8, "conns": 1, "steps": 16, "step_gap_s": 0.004,
+    "edge_mb": 24, "jitter": 0.05, "fail_at_s": 0.02,
+    "repair_at_s": 0.05, "repeat": 1,
+}
+REFERENCE_PARAMS = {
+    "hosts": 16, "conns": 2, "steps": 80, "step_gap_s": 0.004,
+    "edge_mb": 24, "jitter": 0.05, "fail_at_s": 0.05,
+    "repair_at_s": 0.12, "repeat": 1,
+}
+
+
+def _bench_dir() -> str:
+    default = os.path.join(
+        os.path.dirname(os.path.dirname(__file__)), ".artifacts"
+    )
+    return os.environ.get("REPRO_BENCH_DIR", default)
+
+
+def _record(tier: str, payload) -> str:
+    """Merge one tier's payload into BENCH_simcore.json."""
+    path = os.path.join(_bench_dir(), "BENCH_simcore.json")
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict):
+            doc = {}
+    except (OSError, json.JSONDecodeError):
+        doc = {}
+    doc[tier] = payload
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+    except OSError:
+        pass  # read-only checkout: recording is best-effort
+    return path
+
+
+def _check(tier: str, payload, min_flows: int) -> None:
+    report(
+        f"bench.simcore [{tier}]",
+        [
+            f"flows            {payload['flows']}",
+            f"full engine      {payload['full_wall_s'] * 1e3:9.1f} ms",
+            f"incremental      {payload['incremental_wall_s'] * 1e3:9.1f} ms",
+            f"speedup          {payload['speedup']:9.2f}x (gate >= {MIN_SPEEDUP}x)",
+            f"max finish err   {payload['equivalence']['max_finish_rel_err']:.3e}"
+            f" (tol {EQUIVALENCE_TOL})",
+            f"mean dirty frac  {payload['solver']['mean_dirty_frac']:.4f}",
+            f"recorded in      {_record(tier, payload)}",
+        ],
+    )
+    assert payload["flows"] >= min_flows
+    eq = payload["equivalence"]
+    assert eq["ok"], (
+        f"incremental/full divergence: {eq['max_finish_rel_err']:.3e} "
+        f"rel err, {eq['one_sided_finishes']} one-sided finishes"
+    )
+    assert payload["speedup"] >= MIN_SPEEDUP, (
+        f"incremental engine only {payload['speedup']:.2f}x over the "
+        f"full-solve baseline (gate: {MIN_SPEEDUP}x)"
+    )
+    # the dirty-set machinery must actually be engaging, not falling
+    # back to full solves at every boundary
+    assert payload["solver"]["incremental_solves"] > payload["solver"]["full_solves"]
+
+
+def test_simcore_smoke():
+    _check("smoke", run_simcore(dict(SMOKE_PARAMS), seed=7), min_flows=1000)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_PERF_FULL", "0") != "1",
+    reason="reference tier takes minutes; set REPRO_PERF_FULL=1 "
+    "(CI perf-smoke runs it via `repro exp run bench.simcore`)",
+)
+def test_simcore_reference():
+    _check(
+        "reference", run_simcore(dict(REFERENCE_PARAMS), seed=7),
+        min_flows=20000,
+    )

@@ -9,7 +9,7 @@ DCN+, which is why Figure 17b shows near-parity between architectures.
 from __future__ import annotations
 
 from ..core.errors import CollectiveError
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from .allreduce import CollectiveResult
 from .comm import Communicator
 from .model import ring_allgather_edge_bytes
@@ -30,10 +30,9 @@ def allgather(comm: Communicator, size_bytes: float) -> CollectiveResult:
         shard = size_bytes / g if g else size_bytes
         per_edge = ring_allgather_edge_bytes(shard, h)
         flows = comm.all_rails_ring_flows(per_edge, tag="allgather")
-        sim = FluidSimulator(comm.topo)
-        sim.add_flows(flows)
         # AllGather runs half the steps of AllReduce
-        inter = sim.run().finish_time + profile.ring_latency_seconds(h) / 2
+        inter = run_flows(comm.topo, flows).finish_time \
+            + profile.ring_latency_seconds(h) / 2
     intra = profile.intra_allgather_time(size_bytes, g)
     result = CollectiveResult(
         op="allgather",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.errors import CollectiveError
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from .comm import Communicator
 from .model import allreduce_busbw, ring_allreduce_edge_bytes
 from .tracing import record_stages
@@ -73,10 +73,9 @@ def allreduce(comm: Communicator, size_bytes: float) -> CollectiveResult:
         shard = size_bytes / g if g else size_bytes
         per_edge = ring_allreduce_edge_bytes(shard, h)
         flows = comm.all_rails_ring_flows(per_edge, tag="allreduce")
-        sim = FluidSimulator(comm.topo)
-        sim.add_flows(flows)
         # bandwidth term from the fluid sim + fixed alpha term per step
-        inter = sim.run().finish_time + profile.ring_latency_seconds(h)
+        inter = run_flows(comm.topo, flows).finish_time \
+            + profile.ring_latency_seconds(h)
     # the closing intra-host AllGather also rides NVLS
     intra += profile.intra_reduce_scatter_time(size_bytes, g)
     result = CollectiveResult(

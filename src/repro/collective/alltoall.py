@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import List
 
 from ..core.errors import CollectiveError
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from ..topos.railonly import cross_rail_reachable
 from .comm import Communicator
 from .tracing import record_alltoall
@@ -75,9 +75,7 @@ def all_to_all(comm: Communicator, size_bytes: float) -> AllToAllResult:
                         tag=f"a2a/{src.index}->{dst.index}",
                     )
                 )
-    sim = FluidSimulator(comm.topo)
-    sim.add_flows(flows)
-    network_seconds = sim.run().finish_time
+    network_seconds = run_flows(comm.topo, flows).finish_time
     relay_seconds = 0.0
     if relay_bytes_per_host:
         # relayed bytes traverse NVLink once per host on average

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..core.errors import CollectiveError
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from .comm import Communicator
 from .model import allreduce_busbw, ring_allreduce_edge_bytes
 
@@ -51,9 +51,7 @@ def multi_allreduce(comm: Communicator, size_bytes: float) -> MultiAllReduceResu
         rail_flows = comm.ring_flows(rail, per_edge, tag=f"multiar/rail{rail}")
         rail_tags[rail] = [f.flow_id for f in rail_flows]
         flows.extend(rail_flows)
-    sim = FluidSimulator(comm.topo)
-    sim.add_flows(flows)
-    result = sim.run()
+    result = run_flows(comm.topo, flows)
     alpha = comm.profile.ring_latency_seconds(comm.num_hosts)
     rail_finish = {
         rail: max((result.flow_finish[fid] for fid in fids), default=0.0) + alpha

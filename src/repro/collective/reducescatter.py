@@ -10,7 +10,7 @@ AllReduce.
 from __future__ import annotations
 
 from ..core.errors import CollectiveError
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from .allreduce import CollectiveResult
 from .comm import Communicator
 from .model import ring_allgather_edge_bytes
@@ -32,9 +32,8 @@ def reduce_scatter(comm: Communicator, size_bytes: float) -> CollectiveResult:
         shard = size_bytes / g if g else size_bytes
         per_edge = ring_allgather_edge_bytes(shard, h)  # (n-1)/n factor
         flows = comm.all_rails_ring_flows(per_edge, tag="reducescatter")
-        sim = FluidSimulator(comm.topo)
-        sim.add_flows(flows)
-        inter = sim.run().finish_time + profile.ring_latency_seconds(h) / 2
+        inter = run_flows(comm.topo, flows).finish_time \
+            + profile.ring_latency_seconds(h) / 2
     result = CollectiveResult(
         op="allgather",  # same (n-1)/n busbw normalization
         size_bytes=size_bytes,

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.errors import CollectiveError
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from .comm import Communicator
 
 
@@ -37,9 +37,7 @@ def send_recv(
     if size_bytes <= 0:
         raise CollectiveError("message size must be positive")
     flows = comm.edge_flows(src_host, dst_host, rail, size_bytes, tag="sendrecv")
-    sim = FluidSimulator(comm.topo)
-    sim.add_flows(flows)
-    return SendRecvResult(size_bytes, sim.run().finish_time)
+    return SendRecvResult(size_bytes, run_flows(comm.topo, flows).finish_time)
 
 
 def pipeline_exchange(
@@ -64,6 +62,4 @@ def pipeline_exchange(
             )
     if not flows:
         return SendRecvResult(size_bytes, 0.0)
-    sim = FluidSimulator(comm.topo)
-    sim.add_flows(flows)
-    return SendRecvResult(size_bytes, sim.run().finish_time)
+    return SendRecvResult(size_bytes, run_flows(comm.topo, flows).finish_time)

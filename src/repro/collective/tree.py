@@ -14,7 +14,7 @@ import math
 from typing import List, Tuple
 
 from ..core.errors import CollectiveError
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from .allreduce import CollectiveResult, allreduce as ring_allreduce
 from .comm import Communicator
 
@@ -55,14 +55,12 @@ def tree_allreduce(comm: Communicator, size_bytes: float) -> CollectiveResult:
                 flows.extend(
                     comm.edge_flows(parent, child, rail, shard, tag="tree-down")
                 )
-        sim = FluidSimulator(comm.topo)
-        sim.add_flows(flows)
         depth = max(1, math.ceil(math.log2(h)))
         steps = 2 * depth
         alpha = steps * (
             profile.step_overhead_seconds + 4 * profile.hop_latency_seconds
         )
-        inter = sim.run().finish_time + alpha
+        inter = run_flows(comm.topo, flows).finish_time + alpha
     return CollectiveResult(
         op="allreduce",
         size_bytes=size_bytes,

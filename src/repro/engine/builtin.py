@@ -215,3 +215,22 @@ def bench_allreduce(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
         "seconds": result.seconds,
         "busbw_gb_per_sec": result.busbw_gb_per_sec,
     }
+
+
+# ----------------------------------------------------------------------
+# solver-core perf benchmark (incremental vs full engine)
+# ----------------------------------------------------------------------
+@experiment(
+    "bench.simcore",
+    "Solver-core perf: incremental vs full engine on a dual-plane "
+    "multi-step AllReduce with an injected link failure",
+    defaults={
+        "hosts": 16, "conns": 2, "steps": 80, "step_gap_s": 0.004,
+        "edge_mb": 24, "jitter": 0.05, "fail_at_s": 0.05,
+        "repair_at_s": 0.12, "repeat": 1,
+    },
+)
+def bench_simcore(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
+    from ..fabric.simbench import run_simcore
+
+    return run_simcore(dict(params), seed)

@@ -1,9 +1,17 @@
 """Fluid flow-level fabric simulator, queue model and telemetry."""
 
 from .flow import Flow
+from .incidence import IncidenceIndex
 from .queues import QueueTracker
 from .replay import IterationReplay, NicSeries
 from .simulator import FluidSimulator, SimResult, max_min_rates, run_flows
+from .solver import (
+    EquivalenceReport,
+    IncrementalMaxMinSolver,
+    SolveOutcome,
+    SolverEquivalence,
+    SolverStats,
+)
 from .telemetry import (
     agg_ingress_gbps,
     dirlink_loads,
@@ -16,12 +24,18 @@ from .telemetry import (
 )
 
 __all__ = [
+    "EquivalenceReport",
+    "IncidenceIndex",
+    "IncrementalMaxMinSolver",
     "IterationReplay",
     "NicSeries",
     "Flow",
     "FluidSimulator",
     "QueueTracker",
     "SimResult",
+    "SolveOutcome",
+    "SolverEquivalence",
+    "SolverStats",
     "agg_ingress_gbps",
     "dirlink_loads",
     "imbalance_ratio",

@@ -35,6 +35,19 @@ class Flow:
     remaining_bytes: float = field(init=False)
     rate_gbps: float = field(init=False, default=0.0)
     finish_time: Optional[float] = field(init=False, default=None)
+    #: obs emit-once guard: the ``flow.start`` instant fires at most
+    #: once per (reset-delimited) lifetime, even if the same object is
+    #: re-activated across runs (replay reuses flow objects)
+    _start_emitted: bool = field(init=False, default=False, repr=False,
+                                 compare=False)
+    #: sim time ``remaining_bytes`` was last materialized at -- the
+    #: incremental engine accounts progress lazily between rate changes
+    _progress_t: float = field(init=False, default=0.0, repr=False,
+                               compare=False)
+    #: completion-heap epoch: bumped on every rate change so stale heap
+    #: entries are recognized and discarded (lazy invalidation)
+    _heap_epoch: int = field(init=False, default=0, repr=False,
+                             compare=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -50,3 +63,6 @@ class Flow:
         self.remaining_bytes = float(self.size_bytes)
         self.rate_gbps = 0.0
         self.finish_time = None
+        self._start_emitted = False
+        self._progress_t = 0.0
+        self._heap_epoch += 1

@@ -61,10 +61,19 @@ class QueueTracker:
     def arrivals(self, flows: Iterable[Flow]) -> Dict[int, float]:
         """Per-dirlink arrival rate (Gbps) under upstream throttling."""
         flows = list(flows)
+        # capacities are fetched once per distinct dirlink per call --
+        # the refine loop below touches every path hop per iteration,
+        # and the topology attribute walk dominated its profile
+        cap_of: Dict[int, float] = {}
+        link_capacity = self.link_capacity
         demand: Dict[int, float] = {}
         for f in flows:
             # a flow can never demand more than its first (access) link
-            demand[f.flow_id] = self.link_capacity(f.path.dirlinks[0])
+            first = f.path.dirlinks[0]
+            cap = cap_of.get(first)
+            if cap is None:
+                cap = cap_of[first] = link_capacity(first)
+            demand[f.flow_id] = cap
 
         # compound per-link throttle factors until the shaped arrivals
         # fit everywhere they are applied (fixed point of the fluid
@@ -78,7 +87,9 @@ class QueueTracker:
                     rate *= scale[dl]
                     arrival[dl] += rate
             for dl, arr in arrival.items():
-                cap = self.link_capacity(dl)
+                cap = cap_of.get(dl)
+                if cap is None:
+                    cap = cap_of[dl] = link_capacity(dl)
                 if arr > cap > 0:
                     scale[dl] *= cap / arr
         # final arrivals with *upstream-only* throttling; the first

@@ -1,0 +1,170 @@
+"""Reference workload + harness for the solver-core perf benchmark.
+
+The ``bench.simcore`` experiment (and the ``benchmarks/perf`` pytest
+suite) measure the one hot path every figure funnels through:
+:meth:`FluidSimulator.run`. The reference workload is the paper's
+stress shape -- one HPN segment, a dual-plane rail-optimized AllReduce
+driven for many collective steps (hundreds of simultaneous arrivals
+per step boundary), an access-link failure/repair injected mid-run,
+and per-flow size jitter so completions spread into tens of thousands
+of distinct rate-solve boundaries.
+
+Both engines run the *same* flow objects (reset in between):
+
+* ``solver="full"`` -- the pre-existing from-scratch
+  :func:`~repro.fabric.simulator.max_min_rates` at every boundary
+  (the baseline the CI perf gate compares against);
+* ``solver="incremental"`` -- the dirty-set engine.
+
+The harness returns a JSON-safe payload with wall-clock for both,
+the speedup, solver statistics, and a finish-time equivalence check
+(CI fails if the engines drift beyond 1e-9 relative).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Tuple
+
+from .flow import Flow
+from .simulator import FluidSimulator
+
+#: relative finish-time drift beyond which the engines "disagree"
+EQUIVALENCE_TOL = 1e-9
+
+
+def build_reference_workload(
+    params: Dict[str, Any], seed: int
+) -> Tuple[Any, List[Flow], List[Tuple[float, int, bool]]]:
+    """Build ``(topology, flows, link_events)`` for the benchmark.
+
+    ``params``: hosts, conns, steps, step_gap_s, edge_mb, jitter,
+    fail_at_s, repair_at_s. Flows are reusable across runs via
+    ``Flow.reset``; ``link_events`` are ``(time, link_id, up)``.
+    """
+    from ..cluster import Cluster
+    from ..topos.spec import HpnSpec
+
+    rng = random.Random(seed)
+    hosts = int(params["hosts"])
+    cluster = Cluster.hpn(HpnSpec(
+        segments_per_pod=1,
+        hosts_per_segment=max(8, hosts),
+        backup_hosts_per_segment=0,
+        aggs_per_plane=4,
+    ))
+    comm = cluster.communicator(
+        cluster.place(hosts), num_conns=int(params["conns"])
+    )
+    steps = int(params["steps"])
+    step_gap_s = float(params["step_gap_s"])
+    per_edge = float(params["edge_mb"]) * 1e6
+    jitter = float(params["jitter"])
+    flows: List[Flow] = []
+    for step in range(steps):
+        batch = comm.all_rails_ring_flows(
+            per_edge, tag=f"simcore/step{step}",
+            start_time=step * step_gap_s,
+        )
+        for f in batch:
+            if jitter > 0:
+                f.size_bytes *= 1.0 + rng.uniform(-jitter, jitter)
+                f.reset()
+        flows.extend(batch)
+
+    events: List[Tuple[float, int, bool]] = []
+    fail_at = float(params["fail_at_s"])
+    repair_at = float(params["repair_at_s"])
+    if fail_at >= 0 and repair_at > fail_at:
+        # victim: an access link some mid-pack flow enters the fabric on
+        victim = flows[len(flows) // 2].path.dirlinks[0] // 2
+        events.append((fail_at, victim, False))
+        events.append((repair_at, victim, True))
+    return cluster.topo, flows, events
+
+
+def _timed_run(
+    topo, flows: List[Flow], events, mode: str,
+) -> Tuple[float, Dict[int, float], FluidSimulator]:
+    sim = FluidSimulator(topo, solver=mode)
+    t0 = time.perf_counter()
+    sim.add_flows(flows)
+    for t, lid, up in events:
+        sim.schedule(t, lambda s, l=lid, u=up: s.topo.set_link_state(l, u))
+    result = sim.run()
+    wall = time.perf_counter() - t0
+    return wall, result.flow_finish, sim
+
+
+def run_simcore(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Run the reference workload under both engines and compare.
+
+    Wall-clock is min-of-``repeat`` per engine. The full engine runs
+    first so the incremental engine pays its own (indexed) cache
+    warm-up inside its measured window -- the reported speedup is
+    conservative.
+    """
+    topo, flows, events = build_reference_workload(params, seed)
+    initial_up = {lid: link.up for lid, link in topo.links.items()}
+    repeat = max(1, int(params.get("repeat", 1)))
+
+    def measure(mode: str):
+        best_wall = float("inf")
+        finish: Dict[int, float] = {}
+        sim: FluidSimulator = None  # type: ignore[assignment]
+        for _ in range(repeat):
+            wall, finish, sim = _timed_run(topo, flows, events, mode)
+            best_wall = min(best_wall, wall)
+            for lid, up in initial_up.items():
+                topo.set_link_state(lid, up)
+            for f in flows:
+                f.reset()
+        return best_wall, finish, sim
+
+    full_wall, full_finish, _ = measure("full")
+    inc_wall, inc_finish, inc_sim = measure("incremental")
+
+    max_err = 0.0
+    missing = 0
+    for f in flows:
+        a = full_finish.get(f.flow_id)
+        b = inc_finish.get(f.flow_id)
+        if a is None or b is None:
+            missing += int((a is None) != (b is None))
+            continue
+        err = abs(a - b) / max(1.0, abs(a))
+        if err > max_err:
+            max_err = err
+    stats = inc_sim._solver.stats if inc_sim._solver is not None else None
+    payload: Dict[str, Any] = {
+        "workload": {
+            "hosts": int(params["hosts"]),
+            "conns": int(params["conns"]),
+            "steps": int(params["steps"]),
+            "step_gap_s": float(params["step_gap_s"]),
+            "edge_mb": float(params["edge_mb"]),
+            "jitter": float(params["jitter"]),
+            "fail_at_s": float(params["fail_at_s"]),
+            "repair_at_s": float(params["repair_at_s"]),
+            "seed": seed,
+        },
+        "flows": len(flows),
+        "full_wall_s": full_wall,
+        "incremental_wall_s": inc_wall,
+        "speedup": full_wall / inc_wall if inc_wall > 0 else float("inf"),
+        "equivalence": {
+            "max_finish_rel_err": max_err,
+            "one_sided_finishes": missing,
+            "tol": EQUIVALENCE_TOL,
+            "ok": missing == 0 and max_err <= EQUIVALENCE_TOL,
+        },
+    }
+    if stats is not None:
+        payload["solver"] = {
+            "full_solves": stats.full_solves,
+            "incremental_solves": stats.incremental_solves,
+            "noop_solves": stats.noop_solves,
+            "mean_dirty_frac": stats.mean_dirty_frac,
+        }
+    return payload

@@ -11,7 +11,7 @@ full-duplex cable separately::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ..core.entities import Link
 
@@ -38,6 +38,10 @@ class FlowPath:
     dirlinks: List[int] = field(default_factory=list)
     #: plane the path rides (None for non-plane architectures)
     plane: int = None  # type: ignore[assignment]
+    #: cached dense form of ``dirlinks`` (see :meth:`dirlink_multiplicity`)
+    _dl_mult: Optional[Tuple[Tuple[int, int], ...]] = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     @property
     def hops(self) -> int:
@@ -67,6 +71,25 @@ class FlowPath:
 
     def link_ids(self) -> Set[int]:
         return {d // 2 for d in self.dirlinks}
+
+    def dirlink_multiplicity(self) -> Tuple[Tuple[int, int], ...]:
+        """Deduplicated ``(dirlink, occurrences)`` pairs, cached.
+
+        The dense-access form the incremental solver's incidence index
+        consumes: a path that revisits a directed link (possible under
+        injected mis-wirings) carries an occurrence count rather than a
+        duplicate entry, so per-link bookkeeping is one update per
+        distinct link. The cache assumes ``dirlinks`` is not mutated
+        after first use -- paths are frozen once routed.
+        """
+        cached = self._dl_mult
+        if cached is None:
+            counts: dict = {}
+            for dl in self.dirlinks:
+                counts[dl] = counts.get(dl, 0) + 1
+            cached = tuple(counts.items())
+            self._dl_mult = cached
+        return cached
 
 
 def disjoint(a: FlowPath, b: FlowPath, ignore_access: bool = True) -> bool:

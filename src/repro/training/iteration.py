@@ -19,7 +19,7 @@ from typing import Optional
 from ..collective.comm import Communicator
 from ..collective.model import ring_allreduce_edge_bytes
 from ..core.units import gbps_to_bytes_per_sec
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from .models import GpuSpec, H800, LlmConfig, compute_seconds_per_sample
 from .parallelism import Placement
 from .traffic import iteration_traffic
@@ -104,17 +104,13 @@ def simulate_iteration(
             flows.extend(
                 comm.edge_flows(src, dst, 0, traffic.pp_bytes_total, tag="pp")
             )
-        sim = FluidSimulator(comm.topo)
-        sim.add_flows(flows)
-        pp_seconds = sim.run().finish_time
+        pp_seconds = run_flows(comm.topo, flows).finish_time
 
     # DP: all groups concurrently (the heavyweight pattern)
     dp_seconds = 0.0
     flows = dp_sync_flows(comm, placement, traffic.dp_bytes)
     if flows:
-        sim = FluidSimulator(comm.topo)
-        sim.add_flows(flows)
-        dp_seconds = sim.run().finish_time
+        dp_seconds = run_flows(comm.topo, flows).finish_time
 
     backward = compute * 2.0 / 3.0
     dp_exposed = max(0.0, dp_seconds - overlap * backward)

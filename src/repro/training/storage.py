@@ -24,7 +24,7 @@ from typing import List, Sequence
 from ..collective.comm import Communicator
 from ..collective.model import ring_allreduce_edge_bytes
 from ..core.units import gbps_to_bytes_per_sec
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from .checkpoint import CheckpointSpec
 
 
@@ -84,9 +84,7 @@ def training_perturbation(
     hosts = comm.hosts
     per_edge = ring_allreduce_edge_bytes(grad_bytes, len(hosts))
     baseline_flows = comm.all_rails_ring_flows(per_edge, tag="grad")
-    sim = FluidSimulator(comm.topo)
-    sim.add_flows(baseline_flows)
-    baseline = sim.run().finish_time
+    baseline = run_flows(comm.topo, baseline_flows).finish_time
 
     for f in baseline_flows:
         f.reset()
@@ -104,10 +102,8 @@ def training_perturbation(
                 tag=f"ckpt/{i}",
             )
         )
-    sim = FluidSimulator(comm.topo)
-    sim.add_flows(mixed)
     grad_ids = {f.flow_id for f in baseline_flows}
-    result = sim.run()
+    result = run_flows(comm.topo, mixed)
     perturbed = max(result.flow_finish[fid] for fid in grad_ids)
     return perturbed / baseline - 1.0
 

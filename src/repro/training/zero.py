@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from ..collective.comm import Communicator
 from ..collective.model import ring_allgather_edge_bytes
-from ..fabric.simulator import FluidSimulator
+from ..fabric.simulator import run_flows
 from .models import LlmConfig
 from .parallelism import ParallelismPlan, Placement
 
@@ -93,7 +93,5 @@ def simulate_zero_sync(
             )
         if not flows:
             continue
-        sim = FluidSimulator(comm.topo)
-        sim.add_flows(flows)
-        total += sim.run().finish_time
+        total += run_flows(comm.topo, flows).finish_time
     return total
