@@ -12,7 +12,7 @@ Run:  python examples/operations_lessons.py
 from repro import Cluster, HpnSpec, RailOnlySpec, build_railonly
 from repro.collective import Communicator
 from repro.core.units import GB
-from repro.routing import Router
+from repro.routing import shared_router
 from repro.telemetry import LfsModel, swap_access_links, verify_wiring
 from repro.training import (
     GPT3_175B,
@@ -82,7 +82,7 @@ def moe_comparison() -> None:
     hosts_r = [f"seg0/host{i}" for i in range(8)]
     a2a = simulate_moe_exchange(any_cluster.communicator(hosts_a), moe)
     rail = simulate_moe_exchange(
-        Communicator(rail_topo, Router(rail_topo), hosts_r), moe
+        Communicator(rail_topo, shared_router(rail_topo), hosts_r), moe
     )
     print(f"  any-to-any: {a2a.total_seconds*1e3:7.1f} ms per iteration of MoE layers")
     print(f"  rail-only : {rail.total_seconds*1e3:7.1f} ms "

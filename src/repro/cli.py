@@ -189,6 +189,62 @@ def cmd_complexity(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_route(args: argparse.Namespace) -> int:
+    import itertools
+
+    from .routing import FiveTuple
+
+    cluster = _build_cluster(args)
+    router = cluster.router  # the shared CachedRouter
+    topo = cluster.topo
+    hosts = sorted(h.name for h in topo.active_hosts())
+    if args.src or args.dst:
+        pairs = [(args.src or hosts[0], args.dst or hosts[-1])]
+    else:
+        pairs = list(itertools.combinations(hosts, 2))[: args.pairs]
+
+    routed = unroutable = 0
+    for _pass in range(args.repeat):
+        for src_host, dst_host in pairs:
+            src = topo.hosts[src_host].nic_for_rail(args.rail)
+            dst = topo.hosts[dst_host].nic_for_rail(args.rail)
+            requests = [
+                (src, dst, FiveTuple(src.ip, dst.ip, args.sport + i, 4791),
+                 args.plane)
+                for i in range(args.conns)
+            ]
+            paths = router.route_many(requests, strict=False)
+            for (_s, _d, ft, _p), path in zip(requests, paths):
+                if path is None:
+                    unroutable += 1
+                    if len(pairs) == 1:
+                        print(f"sport {ft.sport}: unroutable")
+                elif len(pairs) == 1:
+                    routed += 1
+                    print(
+                        f"sport {ft.sport} plane {path.plane}: "
+                        + " -> ".join(path.nodes)
+                    )
+                else:
+                    routed += 1
+    print(
+        f"routed {routed} flows over {len(pairs)} pairs "
+        f"(rail {args.rail}, {args.conns} conns/pair, "
+        f"{args.repeat} pass{'es' if args.repeat != 1 else ''})"
+        + (f"; {unroutable} unroutable" if unroutable else "")
+    )
+    if args.stats:
+        stats = router.stats
+        print(
+            f"route cache: {stats.hits} hits / {stats.misses} misses "
+            f"(hit rate {stats.hit_rate:.1%}), "
+            f"{stats.invalidations} invalidations, "
+            f"{stats.fib_compiles} fib compile"
+            f"{'s' if stats.fib_compiles != 1 else ''}"
+        )
+    return 0
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     from . import training
 
@@ -415,6 +471,27 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("complexity", help="print Table 1")
     p.set_defaults(func=cmd_complexity)
+
+    p = sub.add_parser(
+        "route",
+        help="route sample flows through the cached forwarding plane",
+    )
+    _add_build_args(p)
+    p.add_argument("--src", help="source host (default: first active host)")
+    p.add_argument("--dst", help="destination host (default: last active host)")
+    p.add_argument("--rail", type=int, default=0)
+    p.add_argument("--plane", type=int, default=None,
+                   help="preferred NIC port/plane (default: first usable)")
+    p.add_argument("--sport", type=int, default=49152)
+    p.add_argument("--conns", type=int, default=2,
+                   help="connections (distinct sports) per pair")
+    p.add_argument("--pairs", type=int, default=64,
+                   help="host pairs to sweep when no --src/--dst given")
+    p.add_argument("--repeat", type=int, default=2,
+                   help="sweep passes (pass 2+ exercises the cache)")
+    p.add_argument("--stats", action="store_true",
+                   help="print route-cache hit/compile counters")
+    p.set_defaults(func=cmd_route)
 
     p = sub.add_parser("train", help="simulate one training iteration")
     _add_build_args(p)

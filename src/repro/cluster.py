@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence
 
 from .collective.comm import Communicator
 from .core.topology import Topology
-from .routing.ecmp import Router
+from .routing.cache import CachedRouter, reset_shared_router, shared_router
 from .topos.dcnplus import build_dcnplus
 from .topos.hpn import build_hpn
 from .topos.singletor import build_singletor
@@ -36,11 +36,11 @@ class Cluster:
     """A built network plus its router and scheduler."""
 
     topo: Topology
-    router: Router = field(init=False)
+    router: CachedRouter = field(init=False)
     scheduler: Scheduler = field(init=False)
 
     def __post_init__(self) -> None:
-        self.router = Router(self.topo)
+        self.router = shared_router(self.topo)
         self.scheduler = Scheduler(self.topo)
 
     # -- constructors ---------------------------------------------------
@@ -95,4 +95,4 @@ class Cluster:
 
     def refresh_routing(self) -> None:
         """Rebuild router indexes after structural topology changes."""
-        self.router = Router(self.topo)
+        self.router = reset_shared_router(self.topo)

@@ -79,6 +79,7 @@ class Communicator:
             for g in range(self.gpus_per_host)
         ]
         self._conn_cache: Dict[Tuple[str, str], List[Connection]] = {}
+        self._conn_epoch = (topo.state_epoch, topo.structure_epoch)
 
     # ------------------------------------------------------------------
     @property
@@ -94,7 +95,18 @@ class Communicator:
 
     # ------------------------------------------------------------------
     def connections(self, src_host: str, dst_host: str, rail: int) -> List[Connection]:
-        """Cached multi-connection set between two hosts' rail NICs."""
+        """Cached multi-connection set between two hosts' rail NICs.
+
+        The set is dropped wholesale when the topology's epochs move (a
+        link flap can shift ECMP selection of any pair); re-establishing
+        is cheap when the router is a
+        :class:`~repro.routing.cache.CachedRouter`, which re-routes only
+        the epoch-dirtied pairs and serves the rest from its cache.
+        """
+        epoch = (self.topo.state_epoch, self.topo.structure_epoch)
+        if epoch != self._conn_epoch:
+            self._conn_cache.clear()
+            self._conn_epoch = epoch
         src_nic = self.nic(src_host, rail)
         dst_nic = self.nic(dst_host, rail)
         key = (src_nic.name, dst_nic.name)
@@ -111,6 +123,7 @@ class Communicator:
     def invalidate_connections(self) -> None:
         """Drop cached connections (topology/link state changed)."""
         self._conn_cache.clear()
+        self._conn_epoch = (self.topo.state_epoch, self.topo.structure_epoch)
 
     # ------------------------------------------------------------------
     def edge_flows(

@@ -97,12 +97,23 @@ def establish_conns(
     # blind ECMP: a pseudo-random but deterministic sport per connection
     from ..routing.hashing import FiveTuple, hash_five_tuple
 
+    sports: List[int] = []
+    requests = []
     for i, p in enumerate(plane_seq):
         probe_ft = FiveTuple(src_nic.ip, dst_nic.ip, i, dport)
         sport = 49152 + (hash_five_tuple(probe_ft, seed=0xC0FFEE) + i) % 16384
-        ft = FiveTuple(src_nic.ip, dst_nic.ip, sport, dport)
-        path = router.path_for(src_nic, dst_nic, ft, plane=p)
-        conns.append(Connection(sport=sport, path=path))
+        sports.append(sport)
+        requests.append(
+            (src_nic, dst_nic, FiveTuple(src_nic.ip, dst_nic.ip, sport, dport), p)
+        )
+    route_many = getattr(router, "route_many", None)
+    if route_many is not None:
+        paths = route_many(requests)
+    else:
+        paths = [router.path_for(s, d, ft, plane=p) for s, d, ft, p in requests]
+    conns.extend(
+        Connection(sport=sport, path=path) for sport, path in zip(sports, paths)
+    )
     return conns
 
 

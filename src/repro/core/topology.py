@@ -47,6 +47,16 @@ class Topology:
     _next_link_id: int = 0
     #: free-form metadata recorded by builders (spec echo, plane count...)
     meta: Dict[str, object] = field(default_factory=dict)
+    #: monotonic link-state epoch: one bump per actual up/down transition
+    #: (``set_link_state``/``fail_node``/``recover_node``); consumers such
+    #: as the route cache diff against it to invalidate precisely
+    state_epoch: int = 0
+    #: monotonic wiring epoch: bumped whenever links/ports are added or
+    #: re-terminated; compiled forwarding state (FIBs, access-leg maps)
+    #: must be rebuilt when it moves
+    structure_epoch: int = 0
+    #: link id per state transition, in epoch order (len == state_epoch)
+    _state_log: List[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # node management
@@ -122,6 +132,7 @@ class Topology:
         pa.link_id = link.link_id
         pb.link_id = link.link_id
         self._next_link_id += 1
+        self.structure_epoch += 1
         return link
 
     def link_between(self, node_a: str, node_b: str) -> List[Link]:
@@ -245,7 +256,11 @@ class Topology:
     # link state (failures)
     # ------------------------------------------------------------------
     def set_link_state(self, link_id: int, up: bool) -> None:
-        self.links[link_id].up = up
+        link = self.links[link_id]
+        if link.up != up:
+            link.up = up
+            self.state_epoch += 1
+            self._state_log.append(link_id)
 
     def fail_node(self, name: str) -> List[int]:
         """Mark a switch down and all its links down; returns link ids."""
@@ -256,7 +271,7 @@ class Topology:
         failed = []
         for port in self.ports[name]:
             if port.link_id is not None and self.links[port.link_id].up:
-                self.links[port.link_id].up = False
+                self.set_link_state(port.link_id, False)
                 failed.append(port.link_id)
         return failed
 
@@ -265,7 +280,25 @@ class Topology:
         sw.up = True
         for port in self.ports[name]:
             if port.link_id is not None:
-                self.links[port.link_id].up = True
+                self.set_link_state(port.link_id, True)
+
+    def link_state_changes(self, since: int) -> List[int]:
+        """Link ids that transitioned up/down after epoch ``since``.
+
+        One entry per transition, in order; the caller advances its
+        cursor to :attr:`state_epoch` after consuming them.
+        """
+        return self._state_log[since:]
+
+    def notify_structure_changed(self) -> None:
+        """Record out-of-band rewiring (e.g. moving a link endpoint).
+
+        Mutating ``Link``/``Port`` objects directly bypasses
+        :meth:`wire`, so callers must bump the structure epoch by hand
+        for compiled forwarding state (FIBs, access-leg maps) to be
+        rebuilt.
+        """
+        self.structure_epoch += 1
 
     # ------------------------------------------------------------------
     # export & stats

@@ -234,3 +234,21 @@ def bench_simcore(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
     from ..fabric.simbench import run_simcore
 
     return run_simcore(dict(params), seed)
+
+
+# ----------------------------------------------------------------------
+# routing perf benchmark (cached/batched vs uncached walker)
+# ----------------------------------------------------------------------
+@experiment(
+    "bench.routing",
+    "Routing perf: compiled FIB + route cache vs the uncached "
+    "hop-by-hop walker on 15-segment-pod ring traffic with link flaps",
+    defaults={
+        "segments": 15, "hosts_per_segment": 8, "aggs_per_plane": 8,
+        "conns": 2, "steps": 20, "flap_every": 5, "campaign_cases": 50,
+    },
+)
+def bench_routing(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
+    from ..routing.routebench import run_routing_bench
+
+    return run_routing_bench(dict(params), seed)

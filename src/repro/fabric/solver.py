@@ -417,7 +417,7 @@ class SolverEquivalence:
     def run_random(self, cases: int = 50, seed: int = 0,
                    max_flows: int = 60) -> EquivalenceReport:
         """A seeded campaign of randomized topology/flow/failure cases."""
-        from ..routing import FiveTuple, Router
+        from ..routing import FiveTuple, shared_router
         from ..topos import HpnSpec, SingleTorSpec, build_hpn, build_singletor
 
         rng = random.Random(seed)
@@ -436,20 +436,21 @@ class SolverEquivalence:
                     segments=rng.choice([1, 2]),
                     hosts_per_segment=rng.choice([4, 8]),
                 ))
-            router = Router(topo)
+            router = shared_router(topo)
             hosts = sorted(topo.hosts)
             rails = [n.rail for n in topo.hosts[hosts[0]].backend_nics()]
             flows: List[Flow] = []
             n_flows = rng.randrange(8, max_flows)
+            requests = []
             for i in range(n_flows):
                 src, dst = rng.sample(hosts, 2)
                 rail = rng.choice(rails) if rails else 0
                 a = topo.hosts[src].nic_for_rail(rail)
                 b = topo.hosts[dst].nic_for_rail(rail)
-                ft = FiveTuple(a.ip, b.ip, 49152 + i, 4791)
-                try:
-                    path = router.path_for(a, b, ft)
-                except Exception:
+                requests.append((a, b, FiveTuple(a.ip, b.ip, 49152 + i, 4791), None))
+            paths = router.route_many(requests, strict=False)
+            for (a, b, ft, _plane), path in zip(requests, paths):
+                if path is None:
                     continue
                 f = Flow(ft, rng.uniform(1e6, 5e8), path,
                          start_time=rng.choice([0.0, 0.0, rng.uniform(0, 0.01)]),

@@ -1,5 +1,12 @@
-"""Routing: hash family, ECMP walker, RePaC path probing, complexity."""
+"""Routing: hash family, ECMP walker, FIB + route cache, RePaC, complexity."""
 
+from .cache import (
+    CachedRouter,
+    RouteCache,
+    RouteStats,
+    reset_shared_router,
+    shared_router,
+)
 from .complexity import (
     ComplexityRow,
     card_complexity,
@@ -8,6 +15,7 @@ from .complexity import (
     table1,
 )
 from .ecmp import AccessLeg, Router
+from .fib import Fib, SwitchFib
 from .hashing import (
     FiveTuple,
     ecmp_index,
@@ -25,12 +33,19 @@ __all__ = [
     "ForwardingViolation",
     "verify_forwarding",
     "AccessLeg",
+    "CachedRouter",
     "ComplexityRow",
     "DisjointPathSet",
+    "Fib",
     "FiveTuple",
     "FlowPath",
     "PathProbe",
+    "RouteCache",
+    "RouteStats",
     "Router",
+    "SwitchFib",
+    "reset_shared_router",
+    "shared_router",
     "card_complexity",
     "decode_dirlink",
     "disjoint",

@@ -68,7 +68,10 @@ def measured_complexity(
     router: Optional[Router] = None,
 ) -> int:
     """Count distinct equal-cost paths between two hosts' rail NICs."""
-    router = router or Router(topo)
+    if router is None:
+        from .cache import shared_router
+
+        router = shared_router(topo)
     src = topo.hosts[src_host]
     dst = topo.hosts[dst_host]
     src_nic = next(n for n in src.backend_nics() if n.rail == rail)

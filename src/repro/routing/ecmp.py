@@ -70,6 +70,10 @@ class Router:
         self._adj: Dict[str, Dict[str, List[Tuple[Port, Link]]]] = {}
         # up candidates per switch: [(port, link, peer)]
         self._up: Dict[str, List[Tuple[Port, Link, str]]] = {}
+        # per-NIC access-leg memo; legs are structural (usable reads
+        # link.up live), so only a wiring change invalidates them
+        self._legs_memo: Dict[Tuple[str, int], List[AccessLeg]] = {}
+        self._legs_epoch: int = topo.structure_epoch
         self._build_index()
 
     # ------------------------------------------------------------------
@@ -89,7 +93,20 @@ class Router:
 
     # ------------------------------------------------------------------
     def access_legs(self, nic: Nic) -> List[AccessLeg]:
-        """The wired access legs of a NIC, indexed by NIC port."""
+        """The wired access legs of a NIC, indexed by NIC port.
+
+        Memoized per NIC: the leg list captures wiring only (whether a
+        leg is *usable* reads ``link.up`` at query time), so the memo
+        survives link flaps and is dropped only when
+        ``Topology.structure_epoch`` moves.
+        """
+        if self._legs_epoch != self.topo.structure_epoch:
+            self._legs_memo.clear()
+            self._legs_epoch = self.topo.structure_epoch
+        key = (nic.host, nic.index)
+        legs = self._legs_memo.get(key)
+        if legs is not None:
+            return legs
         legs = []
         for idx, pref in enumerate(nic.ports):
             port = self.topo.port(pref)
@@ -97,6 +114,7 @@ class Router:
                 continue
             link = self.topo.links[port.link_id]
             legs.append(AccessLeg(idx, link, link.other(nic.host).node))
+        self._legs_memo[key] = legs
         return legs
 
     def usable_planes(self, src_nic: Nic, dst_nic: Nic) -> List[int]:

@@ -1,0 +1,179 @@
+"""Compiled per-switch forwarding tables (FIB).
+
+The hop-by-hop :class:`~repro.routing.ecmp.Router` re-derives every
+switch's candidate next-hops from adjacency dictionaries on each call.
+At pod scale a collective issues tens of thousands of ``path_for``
+calls per step, all walking the same handful of switches, so the
+candidate *structure* -- which ports could ever carry traffic towards a
+destination class -- is worth compiling once per wiring
+(``Topology.structure_epoch``) and filtering by live ``Link.up`` state
+at walk time.
+
+Destination classes per tier mirror the deployed Clos forwarding
+state (paper section 6):
+
+* **tier 1 (ToR)** -- traffic for an attached NIC goes straight down
+  (handled by the walker via the destination's access legs); everything
+  else is hashed over the compiled uplink set. Rail-only fabrics refuse
+  cross-rail traffic here.
+* **tier 2 (Agg)** -- intra-pod traffic goes down towards the ToR(s)
+  advertising the destination /32 (compiled per-ToR down groups);
+  cross-pod traffic is hashed over the compiled core uplink set.
+* **tier 3 (Core)** -- traffic goes down towards the destination pod
+  (compiled per-pod down groups, plane-filtered at compile time in
+  plane-isolated architectures since a core never crosses planes).
+
+Candidate ordering is byte-compatible with the uncached walker: uplink
+sets are in port order, per-ToR groups are per-peer port-order lists,
+and per-pod groups concatenate peers in first-appearance (port) order.
+This matters because ECMP selection is an index into the candidate
+list -- a reordered list is a different path.
+
+Every compiled group also carries its structural link-id tuple so the
+cached walker can record, per routed flow, exactly which links were
+*examined* (not just traversed). That dependency set is what makes
+precise cache invalidation correct: a link coming back up can grow a
+candidate set and shift the ECMP index of a flow that never crossed it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.entities import Host, Link, Port, PortKind, Switch
+from ..core.errors import RoutingError
+from ..core.topology import Topology
+
+#: one compiled candidate group: ((port, link), ...) plus its link ids
+Group = Tuple[Tuple[Tuple[Port, Link], ...], Tuple[int, ...]]
+
+_EMPTY_GROUP: Group = ((), ())
+
+
+def _compile_group(pairs: List[Tuple[Port, Link]]) -> Group:
+    return tuple(pairs), tuple(link.link_id for _port, link in pairs)
+
+
+class SwitchFib:
+    """Compiled forwarding state of one switch."""
+
+    __slots__ = (
+        "switch", "name", "tier", "pod", "plane", "rail",
+        "ups", "down_by_tor", "down_by_pod",
+    )
+
+    def __init__(self, switch: Switch):
+        self.switch = switch
+        self.name = switch.name
+        self.tier = switch.tier
+        self.pod = switch.pod
+        self.plane = switch.plane
+        self.rail = switch.rail
+        #: uplink candidates in port order (tier 1, tier-2 cross-pod)
+        self.ups: Group = _EMPTY_GROUP
+        #: tier 2: down candidates towards one ToR, per-peer port order
+        self.down_by_tor: Dict[str, Group] = {}
+        #: tier 3: down candidates towards one pod, peers in
+        #: first-appearance order, plane-filtered at compile time
+        self.down_by_pod: Dict[int, Group] = {}
+
+
+class Fib:
+    """Per-switch compiled candidate tables for one wiring epoch."""
+
+    def __init__(self, topo: Topology, plane_isolated: bool):
+        self.topo = topo
+        self.plane_isolated = plane_isolated
+        #: the wiring this FIB was compiled against
+        self.structure_epoch = topo.structure_epoch
+        self.railonly = topo.meta.get("architecture") == "railonly"
+        self.switches: Dict[str, SwitchFib] = {}
+        self._compile()
+
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        topo = self.topo
+        for name, sw in topo.switches.items():
+            entry = SwitchFib(sw)
+            # adjacency in first-appearance order, per-peer port order --
+            # the exact shape Router._adj has, so candidate order matches
+            adj: Dict[str, List[Tuple[Port, Link]]] = {}
+            for port, link, peer in topo.neighbors(name):
+                adj.setdefault(peer, []).append((port, link))
+
+            ups = [
+                (port, topo.links[port.link_id])
+                for port in topo.ports[name]
+                if port.kind is PortKind.UP and port.link_id is not None
+            ]
+            entry.ups = _compile_group(ups)
+
+            if sw.tier == 2:
+                for peer, pairs in adj.items():
+                    if peer in topo.switches and topo.switches[peer].tier == 1:
+                        entry.down_by_tor[peer] = _compile_group(pairs)
+            elif sw.tier == 3:
+                by_pod: Dict[int, List[Tuple[Port, Link]]] = {}
+                for peer, pairs in adj.items():
+                    peer_sw = topo.switches.get(peer)
+                    if peer_sw is None or peer_sw.pod is None:
+                        continue
+                    if (
+                        self.plane_isolated
+                        and sw.plane is not None
+                        and peer_sw.plane != sw.plane
+                    ):
+                        continue
+                    by_pod.setdefault(peer_sw.pod, []).extend(pairs)
+                entry.down_by_pod = {
+                    pod: _compile_group(pairs) for pod, pairs in by_pod.items()
+                }
+            self.switches[name] = entry
+
+    # ------------------------------------------------------------------
+    def candidates(
+        self,
+        entry: SwitchFib,
+        dst: Host,
+        dst_rail: Optional[int],
+        dst_tors: Dict[str, object],
+        deps: Set[int],
+    ) -> List[Tuple[Port, Link]]:
+        """Live candidates at ``entry`` towards the destination.
+
+        Mirrors ``Router._candidates`` hop for hop, but indexes the
+        compiled tables instead of scanning adjacency dicts, and adds
+        every *examined* structural link id to ``deps`` (the cache
+        entry's invalidation set).
+        """
+        tier = entry.tier
+        if tier == 1:
+            if (
+                self.railonly
+                and entry.rail is not None
+                and dst_rail is not None
+                and entry.rail != dst_rail
+            ):
+                raise RoutingError(
+                    f"rail-only fabric: rail {entry.rail} cannot reach "
+                    f"rail {dst_rail}"
+                )
+            pairs, ids = entry.ups
+            deps.update(ids)
+            return [pl for pl in pairs if pl[1].up]
+        if tier == 2:
+            if entry.pod == dst.pod:
+                out: List[Tuple[Port, Link]] = []
+                for tor in dst_tors:
+                    pairs, ids = entry.down_by_tor.get(tor, _EMPTY_GROUP)
+                    deps.update(ids)
+                    out.extend(pl for pl in pairs if pl[1].up)
+                return out
+            pairs, ids = entry.ups
+            deps.update(ids)
+            return [pl for pl in pairs if pl[1].up]
+        if tier == 3:
+            pairs, ids = entry.down_by_pod.get(dst.pod, _EMPTY_GROUP)
+            deps.update(ids)
+            return [pl for pl in pairs if pl[1].up]
+        raise RoutingError(f"unexpected tier {tier} at {entry.name}")

@@ -1,0 +1,302 @@
+"""Reference workload + differential harness for the routing perf gate.
+
+Two instruments over the same machinery:
+
+* :class:`RoutingEquivalence` -- a seeded randomized failure/repair
+  campaign (same pattern as the solver's
+  :class:`~repro.fabric.solver.SolverEquivalence`): the uncached
+  hop-by-hop :class:`~repro.routing.ecmp.Router` is the oracle, and
+  every query must produce a byte-identical ``FlowPath`` -- or the
+  identical ``RoutingError`` message -- from the
+  :class:`~repro.routing.cache.CachedRouter` under arbitrary link
+  flips, switch failures and recoveries, across the HPN, DCN+ and
+  rail-only architectures.
+* :func:`run_routing_bench` -- the ``bench.routing`` experiment body: a
+  15-segment HPN pod driving per-rail ring traffic (the rail-optimized
+  collective pattern) for many steps with persistent per-connection
+  five-tuples and periodic link flaps, timing the uncached per-call
+  walker against :meth:`CachedRouter.route_many`. CI gates the speedup
+  and the byte-level equivalence of every routed step.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import RoutingError
+from ..core.topology import Topology
+from .cache import CachedRouter
+from .ecmp import Router
+from .hashing import FiveTuple
+
+#: outcome of one routed query, comparable byte for byte
+Outcome = Tuple[Any, ...]
+
+
+def _query(router: Router, src, dst, ft: FiveTuple,
+           plane: Optional[int]) -> Outcome:
+    try:
+        p = router.path_for(src, dst, ft, plane)
+        return ("ok", tuple(p.nodes), tuple(p.dirlinks), p.plane)
+    except RoutingError as err:
+        return ("err", str(err))
+
+
+class RoutingEquivalence:
+    """Randomized cached-vs-oracle campaign over three architectures."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def _fabrics(self) -> List[Tuple[str, Topology]]:
+        from ..topos import (
+            DcnPlusSpec,
+            HpnSpec,
+            RailOnlySpec,
+            build_dcnplus,
+            build_hpn,
+            build_railonly,
+        )
+
+        return [
+            ("hpn", build_hpn(HpnSpec(
+                segments_per_pod=2, hosts_per_segment=8,
+                backup_hosts_per_segment=0, aggs_per_plane=4,
+            ))),
+            ("dcnplus", build_dcnplus(DcnPlusSpec(
+                pods=2, segments_per_pod=2, hosts_per_segment=6,
+            ))),
+            ("railonly", build_railonly(RailOnlySpec(
+                segments_per_pod=2, hosts_per_segment=6,
+            ))),
+        ]
+
+    def run_random(self, cases: int = 50,
+                   queries_per_case: int = 25) -> Dict[str, Any]:
+        """Run ``cases`` randomized failure/repair cases; returns a report.
+
+        Each case mutates one fabric (link flips, or a switch
+        failure/recovery) and compares every query outcome. The cached
+        routers persist across cases, so invalidation -- not a cold
+        cache -- is what keeps them honest; ``recover_node`` cases are
+        the stale-cache regression the paper's dual-ToR failover makes
+        dangerous.
+        """
+        rng = random.Random(self.seed)
+        fabrics = self._fabrics()
+        oracles = {name: Router(topo) for name, topo in fabrics}
+        cached = {name: CachedRouter(topo) for name, topo in fabrics}
+        mismatches: List[str] = []
+        checked = 0
+        for case in range(cases):
+            name, topo = fabrics[rng.randrange(len(fabrics))]
+            # mutate: mostly link flips, sometimes a whole-switch event
+            roll = rng.random()
+            if roll < 0.2 and topo.switches:
+                victim = rng.choice(sorted(topo.switches))
+                if topo.switches[victim].up:
+                    topo.fail_node(victim)
+                else:
+                    topo.recover_node(victim)
+            else:
+                for _ in range(rng.randint(1, 3)):
+                    lid = rng.choice(list(topo.links))
+                    topo.set_link_state(lid, rng.random() < 0.5)
+            hosts = [h for h in topo.hosts.values() if not h.backup]
+            for q in range(queries_per_case):
+                a, b = rng.sample(hosts, 2)
+                src = rng.choice(a.backend_nics())
+                dst = rng.choice(b.backend_nics())
+                plane = rng.choice([None, 0, 1])
+                ft = FiveTuple(src.ip, dst.ip, 49152 + rng.randrange(4096), 4791)
+                want = _query(oracles[name], src, dst, ft, plane)
+                got = _query(cached[name], src, dst, ft, plane)
+                checked += 1
+                if want != got:
+                    mismatches.append(
+                        f"{name} case {case} query {q}: {src.name}->"
+                        f"{dst.name} plane={plane}: oracle={want!r} "
+                        f"cached={got!r}"
+                    )
+        stats = {name: r.stats.as_dict() for name, r in cached.items()}
+        return {
+            "ok": not mismatches,
+            "cases": cases,
+            "checked": checked,
+            "mismatches": mismatches[:10],
+            "mismatch_count": len(mismatches),
+            "cache_stats": stats,
+        }
+
+
+# ----------------------------------------------------------------------
+def _build_pod(params: Dict[str, Any]) -> Topology:
+    from ..topos import HpnSpec, build_hpn
+
+    return build_hpn(HpnSpec(
+        segments_per_pod=int(params["segments"]),
+        hosts_per_segment=int(params["hosts_per_segment"]),
+        backup_hosts_per_segment=0,
+        aggs_per_plane=int(params["aggs_per_plane"]),
+    ))
+
+
+def _build_schedule(
+    topo: Topology, params: Dict[str, Any], seed: int
+) -> List[Tuple[List[Tuple[int, bool]], List[Tuple[Any, Any, FiveTuple, Optional[int]]]]]:
+    """Per step: ``(link events, route requests)``.
+
+    The request list models persistent RDMA connections of per-rail
+    rings: the same (NIC pair, sport, plane) set every step, which is
+    exactly the reuse a pod-scale collective presents. Every
+    ``flap_every`` steps one fabric link goes down (and comes back the
+    step after), dirtying the routes that depend on it.
+    """
+    rng = random.Random(seed)
+    hosts = sorted(h.name for h in topo.active_hosts())
+    rails = [n.rail for n in topo.hosts[hosts[0]].backend_nics()]
+    conns = int(params["conns"])
+    steps = int(params["steps"])
+    flap_every = int(params["flap_every"])
+
+    # shuffle the ring so consecutive ranks land in different segments
+    # (data-parallel rings span the pod; name order would keep nearly
+    # every edge inside one ToR and never exercise the agg tier)
+    rng.shuffle(hosts)
+    requests = []
+    for rail in rails:
+        for i, src_host in enumerate(hosts):
+            dst_host = hosts[(i + 1) % len(hosts)]
+            src = topo.hosts[src_host].nic_for_rail(rail)
+            dst = topo.hosts[dst_host].nic_for_rail(rail)
+            for c in range(conns):
+                ft = FiveTuple(src.ip, dst.ip, 49152 + c, 4791)
+                requests.append((src, dst, ft, c % 2))
+
+    # flap interior (switch-to-switch) links only so rings stay routable
+    interior = [
+        link.link_id for link in topo.links.values()
+        if link.a.node in topo.switches and link.b.node in topo.switches
+    ]
+    schedule = []
+    flapped: Optional[int] = None
+    for step in range(steps):
+        events: List[Tuple[int, bool]] = []
+        if flapped is not None:
+            events.append((flapped, True))
+            flapped = None
+        if flap_every and step and step % flap_every == 0 and interior:
+            flapped = rng.choice(interior)
+            events.append((flapped, False))
+        schedule.append((events, requests))
+    return schedule
+
+
+def run_routing_bench(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Benchmark cached/batched routing against the uncached walker.
+
+    Returns a JSON-safe payload: workload shape, wall-clock for both
+    engines, the speedup, a byte-level equivalence verdict over every
+    step, the cache counters, and the randomized failure/repair
+    campaign report.
+    """
+    topo = _build_pod(params)
+    schedule = _build_schedule(topo, params, seed)
+    total_requests = sum(len(reqs) for _events, reqs in schedule)
+
+    def restore() -> None:
+        for lid in list(topo.links):
+            topo.set_link_state(lid, True)
+
+    # --- uncached baseline: one hop-by-hop walk per request ----------
+    # the timed regions hold routing work only; outcome tuples for the
+    # equivalence diff are materialized after the clocks stop
+    oracle = Router(topo)
+    baseline_raw: List[List[Any]] = []
+    t0 = time.perf_counter()
+    for events, reqs in schedule:
+        for lid, up in events:
+            topo.set_link_state(lid, up)
+        out: List[Any] = []
+        for s, d, ft, p in reqs:
+            try:
+                out.append(oracle.path_for(s, d, ft, p))
+            except RoutingError as err:
+                out.append(("err", str(err)))
+        baseline_raw.append(out)
+    uncached_wall = time.perf_counter() - t0
+    restore()
+
+    # --- cached/batched engine ----------------------------------------
+    router = CachedRouter(topo)
+    cached_raw: List[List[Any]] = []
+    t0 = time.perf_counter()
+    for events, reqs in schedule:
+        for lid, up in events:
+            topo.set_link_state(lid, up)
+        paths = router.route_many(reqs, strict=False)
+        for i, path in enumerate(paths):
+            if path is None:
+                # unroutable: re-ask (a cache hit) for the message,
+                # under this step's link state
+                s, d, ft, p = reqs[i]
+                paths[i] = _query(router, s, d, ft, p)
+        cached_raw.append(paths)
+    cached_wall = time.perf_counter() - t0
+    restore()
+
+    cached: List[List[Outcome]] = [
+        [
+            out if isinstance(out, tuple)
+            else ("ok", tuple(out.nodes), tuple(out.dirlinks), out.plane)
+            for out in step
+        ]
+        for step in cached_raw
+    ]
+
+    baseline: List[List[Outcome]] = [
+        [
+            out if isinstance(out, tuple)
+            else ("ok", tuple(out.nodes), tuple(out.dirlinks), out.plane)
+            for out in step
+        ]
+        for step in baseline_raw
+    ]
+
+    # --- byte-level equivalence over every step -----------------------
+    mismatches = 0
+    first: Optional[str] = None
+    for step, (want_step, got_step) in enumerate(zip(baseline, cached)):
+        for i, (want, got) in enumerate(zip(want_step, got_step)):
+            if want != got:
+                mismatches += 1
+                if first is None:
+                    first = (
+                        f"step {step} request {i}: "
+                        f"uncached={want!r} cached={got!r}"
+                    )
+    campaign = RoutingEquivalence(seed=seed + 1).run_random(
+        cases=int(params.get("campaign_cases", 50))
+    )
+
+    stats = router.stats
+    return {
+        "segments": int(params["segments"]),
+        "hosts": len(topo.active_hosts()),
+        "steps": len(schedule),
+        "requests_per_step": len(schedule[0][1]) if schedule else 0,
+        "flows": total_requests,
+        "uncached_wall_s": uncached_wall,
+        "cached_wall_s": cached_wall,
+        "speedup": uncached_wall / cached_wall if cached_wall > 0 else 0.0,
+        "equivalence": {
+            "ok": mismatches == 0,
+            "checked": total_requests,
+            "mismatches": mismatches,
+            "first_mismatch": first,
+        },
+        "cache": dict(stats.as_dict(), hit_rate=stats.hit_rate),
+        "campaign": campaign,
+    }

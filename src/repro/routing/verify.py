@@ -97,7 +97,10 @@ def verify_forwarding(
     fabrics where some pairs are legitimately unreachable (rail-only
     cross-rail traffic, partitioned failures).
     """
-    router = router or Router(topo)
+    if router is None:
+        from .cache import shared_router
+
+        router = shared_router(topo)
     report = ForwardingReport()
     hosts = sorted(h.name for h in topo.active_hosts())
     pairs = [

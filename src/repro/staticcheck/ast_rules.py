@@ -329,6 +329,50 @@ class NoPrintRule(LintRule):
 
 
 # ----------------------------------------------------------------------
+# LINT006: no direct Router construction outside the routing package
+# ----------------------------------------------------------------------
+#: constructor names steered to the shared cached router
+ROUTER_CONSTRUCTORS = frozenset({"Router", "CachedRouter"})
+
+
+def _router_rule_exempt(path: str) -> bool:
+    """Routing internals, tests and benchmarks may build routers."""
+    norm = path.replace(os.sep, "/")
+    if "/routing/" in norm or norm.startswith("routing/"):
+        return True
+    if "/tests/" in norm or "/benchmarks/" in norm:
+        return True
+    base = os.path.basename(norm)
+    return base.startswith("test_") or base == "conftest.py"
+
+
+@lint_rule("LINT006", "no direct Router construction outside routing",
+           Severity.ERROR)
+class DirectRouterRule(LintRule):
+    """``Router(topo)`` at a call site builds a cold adjacency index and
+    throws away every cached route; use
+    ``repro.routing.shared_router(topo)`` so call sites share one
+    compiled FIB and one warm route cache per topology. The routing
+    package itself, tests and benchmarks are exempt."""
+
+    def run(self) -> None:
+        if _router_rule_exempt(self.ctx.path):
+            return
+        super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _name_of(node.func)
+        if name in ROUTER_CONSTRUCTORS:
+            self.emit(
+                node,
+                f"direct {name}() construction; use "
+                "repro.routing.shared_router(topo) to share the "
+                "compiled FIB and route cache",
+            )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------
 def iter_python_files(paths: Sequence[str]) -> Iterator[str]:

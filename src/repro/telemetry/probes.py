@@ -146,3 +146,6 @@ def swap_access_links(topo: Topology, nic_a: Nic, nic_b: Nic, port: int = 0) -> 
         link_b.b = far_a
     topo.port(far_a).link_id = link_b.link_id
     topo.port(far_b).link_id = link_a.link_id
+    # links were re-terminated behind wire()'s back: compiled routers
+    # (FIBs, route caches, access-leg memos) must rebuild
+    topo.notify_structure_changed()

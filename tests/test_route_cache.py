@@ -1,0 +1,274 @@
+"""CachedRouter: failover corners, precise invalidation, batch routing.
+
+The cached router must be a drop-in for the uncached walker -- the same
+``FlowPath`` bytes and the same ``RoutingError`` messages -- under the
+failure modes the paper's dual-ToR design makes interesting: a dead
+preferred plane, a fully disconnected NIC, and a switch coming back
+(the stale-cache regression). Invalidation must be precise: a link
+flap drops only the routes whose dependency set includes the flapped
+link, never the whole cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.obs import Recorder
+from repro.routing import (
+    CachedRouter,
+    Router,
+    reset_shared_router,
+    shared_router,
+)
+from repro.routing.hashing import FiveTuple
+
+
+def make_ft(src, dst, sport=50000):
+    return FiveTuple(src.ip, dst.ip, sport, 4791)
+
+
+def outcome(router, src, dst, ft, plane=None):
+    """A byte-comparable routing result (path tuple or error message)."""
+    try:
+        p = router.path_for(src, dst, ft, plane)
+        return ("ok", tuple(p.nodes), tuple(p.dirlinks), p.plane)
+    except RoutingError as err:
+        return ("err", str(err))
+
+
+def rail_nic(topo, host_name, rail=0):
+    return topo.hosts[host_name].nic_for_rail(rail)
+
+
+def leg_for_plane(router, nic, plane):
+    return next(
+        leg for leg in router.access_legs(nic) if leg.port_index == plane
+    )
+
+
+class TestFailoverCorners:
+    """Satellite: the failover corners, cached vs the oracle."""
+
+    def test_preferred_plane_down_fails_over_identically(self, hpn_mutable):
+        topo = hpn_mutable
+        src = rail_nic(topo, "pod0/seg0/host0")
+        dst = rail_nic(topo, "pod0/seg1/host0")
+        oracle, cached = Router(topo), CachedRouter(topo)
+        # kill the destination's plane-1 access leg: plane 1 can no
+        # longer deliver, so a plane=1 request must fail over to plane 0
+        topo.set_link_state(leg_for_plane(oracle, dst, 1).link.link_id, False)
+        assert cached.usable_planes(src, dst) == [0]
+        got = outcome(cached, src, dst, make_ft(src, dst), plane=1)
+        assert got == outcome(oracle, src, dst, make_ft(src, dst), plane=1)
+        assert got[0] == "ok" and got[3] == 0
+
+    def test_plane_isolated_dst_unreachable_on_preferred_plane(
+        self, hpn_mutable
+    ):
+        topo = hpn_mutable
+        src = rail_nic(topo, "pod0/seg0/host1")
+        dst = rail_nic(topo, "pod0/seg1/host1")
+        oracle, cached = Router(topo), CachedRouter(topo)
+        # the walker itself (not plane resolution) must refuse: give the
+        # walk a plane the destination cannot be reached on
+        dead = leg_for_plane(oracle, dst, 1)
+        topo.set_link_state(dead.link.link_id, False)
+        with pytest.raises(RoutingError, match="unreachable on plane 1"):
+            oracle._walk(src, dst, make_ft(src, dst), 1)
+        with pytest.raises(RoutingError, match="unreachable on plane 1"):
+            cached._walk_fib(src, dst, make_ft(src, dst), 1, set())
+
+    def test_both_dst_access_legs_down(self, hpn_mutable):
+        topo = hpn_mutable
+        src = rail_nic(topo, "pod0/seg0/host2")
+        dst = rail_nic(topo, "pod0/seg1/host2")
+        oracle, cached = Router(topo), CachedRouter(topo)
+        legs = [leg.link.link_id for leg in oracle.access_legs(dst)]
+        for lid in legs:
+            topo.set_link_state(lid, False)
+        want = outcome(oracle, src, dst, make_ft(src, dst))
+        got = outcome(cached, src, dst, make_ft(src, dst))
+        assert want[0] == "err" and got == want
+        # the error is cached -- but as deps, not forever: repairing the
+        # legs must drop the negative entry and route again
+        got_again = outcome(cached, src, dst, make_ft(src, dst))
+        assert got_again == want
+        for lid in legs:
+            topo.set_link_state(lid, True)
+        healed = outcome(cached, src, dst, make_ft(src, dst))
+        assert healed == outcome(oracle, src, dst, make_ft(src, dst))
+        assert healed[0] == "ok"
+
+    def test_agreement_immediately_after_recover_node(self, hpn_mutable):
+        """Stale-cache regression: recover_node must refresh the cache."""
+        topo = hpn_mutable
+        src = rail_nic(topo, "pod0/seg0/host3")
+        dst = rail_nic(topo, "pod0/seg1/host3")
+        oracle, cached = Router(topo), CachedRouter(topo)
+        ft = make_ft(src, dst)
+        baseline = outcome(cached, src, dst, ft)
+        assert baseline == outcome(oracle, src, dst, ft)
+        # fail the ToR serving the destination on plane 0, then recover
+        # it; the first query after recovery must match the oracle (a
+        # stale cache would still return the degraded answer)
+        tor = leg_for_plane(oracle, dst, 0).tor
+        topo.fail_node(tor)
+        degraded = outcome(cached, src, dst, ft)
+        assert degraded == outcome(oracle, src, dst, ft)
+        topo.recover_node(tor)
+        recovered = outcome(cached, src, dst, ft)
+        assert recovered == outcome(oracle, src, dst, ft)
+        assert recovered == baseline
+
+
+class TestPreciseInvalidation:
+    def test_flap_invalidates_only_dependent_routes(self, hpn_mutable):
+        topo = hpn_mutable
+        rec = Recorder()
+        cached = CachedRouter(topo, recorder=rec)
+        src = rail_nic(topo, "pod0/seg0/host0")
+        # warm the cache: one route per destination host in the far segment
+        dsts = [
+            rail_nic(topo, f"pod0/seg1/host{i}") for i in range(8)
+        ]
+        for dst in dsts:
+            cached.path_for(src, dst, make_ft(src, dst))
+        warm_misses = cached.stats.misses
+        assert cached.stats.invalidations == 0
+        # flap exactly one destination's plane-0 access leg: only routes
+        # to that NIC depend on it
+        victim = dsts[0]
+        lid = leg_for_plane(cached, victim, 0).link.link_id
+        topo.set_link_state(lid, False)
+        topo.set_link_state(lid, True)
+        for dst in dsts[1:]:
+            cached.path_for(src, dst, make_ft(src, dst))
+        # the unaffected routes were all cache hits...
+        assert cached.stats.misses == warm_misses
+        # ...and the victim's route was dropped and re-derived
+        cached.path_for(src, victim, make_ft(src, victim))
+        assert cached.stats.misses == warm_misses + 1
+        assert 0 < cached.stats.invalidations < len(dsts)
+        # counters mirror the stats into the obs registry
+        inval = rec.metrics.counter("route_cache.invalidations").value
+        assert inval == cached.stats.invalidations
+        assert rec.metrics.counter("route_cache.hits").value == (
+            cached.stats.hits
+        )
+        assert rec.metrics.counter("fib.compiles").value == 1
+
+    def test_link_coming_up_shifts_ecmp_of_untraversed_routes(
+        self, hpn_mutable
+    ):
+        """Dependencies are *examined* links, not just traversed ones.
+
+        A ToR uplink coming back up grows the candidate group every flow
+        from that ToR hashes over, shifting ECMP indexes of routes that
+        never crossed the repaired link. The cache must re-derive them.
+        """
+        topo = hpn_mutable
+        oracle, cached = Router(topo), CachedRouter(topo)
+        src = rail_nic(topo, "pod0/seg0/host4")
+        dst = rail_nic(topo, "pod0/seg1/host4")
+        ft = make_ft(src, dst)
+        # take one ToR uplink down *before* first derivation ...
+        tor = leg_for_plane(oracle, src, 0).tor
+        up_ids = [link.link_id for _p, link, _peer in oracle._up[tor]]
+        topo.set_link_state(up_ids[0], False)
+        first = outcome(cached, src, dst, ft, plane=0)
+        assert first == outcome(oracle, src, dst, ft, plane=0)
+        assert up_ids[0] not in first[2] and up_ids[0] * 2 not in first[2]
+        # ... then repair it: the cached route never traversed the
+        # repaired link, but its hash group grew, so it must re-derive
+        # and agree with the oracle (possibly on a different uplink)
+        topo.set_link_state(up_ids[0], True)
+        assert outcome(cached, src, dst, ft, plane=0) == outcome(
+            oracle, src, dst, ft, plane=0
+        )
+
+    def test_structure_change_recompiles_fib(self, hpn_mutable):
+        topo = hpn_mutable
+        rec = Recorder()
+        cached = CachedRouter(topo, recorder=rec)
+        src = rail_nic(topo, "pod0/seg0/host5")
+        dst = rail_nic(topo, "pod0/seg1/host5")
+        cached.path_for(src, dst, make_ft(src, dst))
+        legs_before = cached.access_legs(src)
+        topo.notify_structure_changed()
+        cached.path_for(src, dst, make_ft(src, dst))
+        assert rec.metrics.counter("fib.compiles").value == 2
+        # the access-leg memo was also rebuilt
+        assert cached.access_legs(src) is not legs_before
+
+
+class TestAccessLegMemo:
+    def test_memoized_until_structure_epoch_moves(self, hpn_mutable):
+        topo = hpn_mutable
+        router = Router(topo)
+        nic = rail_nic(topo, "pod0/seg0/host6")
+        legs = router.access_legs(nic)
+        assert router.access_legs(nic) is legs
+        # link flaps don't invalidate the memo: legs are structural and
+        # read ``link.up`` live through ``usable``
+        lid = legs[0].link.link_id
+        topo.set_link_state(lid, False)
+        assert router.access_legs(nic) is legs
+        assert not legs[0].usable
+        topo.set_link_state(lid, True)
+        assert legs[0].usable
+        topo.notify_structure_changed()
+        fresh = router.access_legs(nic)
+        assert fresh is not legs
+        assert [(l.port_index, l.link.link_id, l.tor) for l in fresh] == [
+            (l.port_index, l.link.link_id, l.tor) for l in legs
+        ]
+
+
+class TestBatchAndSharing:
+    def test_route_many_matches_per_call(self, hpn_mutable):
+        topo = hpn_mutable
+        oracle, cached = Router(topo), CachedRouter(topo)
+        hosts = sorted(h.name for h in topo.active_hosts())
+        requests = []
+        for i, a in enumerate(hosts):
+            b = hosts[(i + 3) % len(hosts)]
+            src, dst = rail_nic(topo, a), rail_nic(topo, b)
+            requests.append((src, dst, make_ft(src, dst), i % 2))
+        paths = cached.route_many(requests)
+        assert len(paths) == len(requests)
+        for (src, dst, ft, plane), path in zip(requests, paths):
+            want = oracle.path_for(src, dst, ft, plane)
+            assert (path.nodes, path.dirlinks, path.plane) == (
+                want.nodes, want.dirlinks, want.plane
+            )
+
+    def test_route_many_strict_raises_nonstrict_returns_none(
+        self, hpn_mutable
+    ):
+        topo = hpn_mutable
+        cached = CachedRouter(topo)
+        src = rail_nic(topo, "pod0/seg0/host7")
+        dst = rail_nic(topo, "pod0/seg1/host7")
+        ok = rail_nic(topo, "pod0/seg1/host6")
+        for leg in cached.access_legs(dst):
+            topo.set_link_state(leg.link.link_id, False)
+        requests = [
+            (src, ok, make_ft(src, ok), None),
+            (src, dst, make_ft(src, dst), None),
+        ]
+        with pytest.raises(RoutingError):
+            cached.route_many(requests)
+        paths = cached.route_many(requests, strict=False)
+        assert paths[0] is not None and paths[1] is None
+
+    def test_shared_router_is_per_topology(self, hpn_mutable):
+        topo = hpn_mutable
+        router = shared_router(topo)
+        assert isinstance(router, CachedRouter)
+        assert shared_router(topo) is router
+        # a different hash mode gets its own instance
+        other = shared_router(topo, per_port_core_hash=False)
+        assert other is not router
+        fresh = reset_shared_router(topo)
+        assert fresh is not other and shared_router(topo) is fresh

@@ -209,6 +209,67 @@ class TestLint005NoPrint:
         assert suppressed_ids(report) == ["LINT005"]
 
 
+class TestLint006DirectRouter:
+    def test_direct_router_flagged(self):
+        report = lint(
+            """
+            from repro.routing import Router
+            router = Router(topo)
+            """
+        )
+        assert active_ids(report) == ["LINT006"]
+        assert "shared_router" in report.errors[0].message
+
+    def test_cached_router_flagged(self):
+        report = lint(
+            """
+            from repro.routing import CachedRouter
+            router = CachedRouter(topo)
+            """
+        )
+        assert active_ids(report) == ["LINT006"]
+
+    def test_attribute_call_flagged(self):
+        report = lint("router = routing.Router(topo)\n")
+        assert active_ids(report) == ["LINT006"]
+
+    def test_routing_package_exempt(self):
+        report = lint_source(
+            "router = Router(topo)\n",
+            path="src/repro/routing/verify.py",
+            rule_ids=["LINT006"],
+        )
+        assert not report.diagnostics
+
+    def test_tests_and_benchmarks_exempt(self):
+        for path in (
+            "tests/test_router.py",
+            "benchmarks/perf/test_routing.py",
+            "tests/conftest.py",
+        ):
+            report = lint_source(
+                "router = CachedRouter(topo)\n", path=path,
+                rule_ids=["LINT006"],
+            )
+            assert not report.diagnostics, path
+
+    def test_shared_router_is_fine(self):
+        report = lint(
+            """
+            from repro.routing import shared_router
+            router = shared_router(topo)
+            """
+        )
+        assert not report.diagnostics
+
+    def test_noqa_suppresses(self):
+        report = lint(
+            "router = Router(topo)  # repro: noqa[LINT006]\n"
+        )
+        assert report.ok
+        assert suppressed_ids(report) == ["LINT006"]
+
+
 class TestRunner:
     def test_syntax_error_becomes_lint000(self):
         report = lint("def broken(:\n")
