@@ -146,20 +146,28 @@ def cmd_validate(args: argparse.Namespace) -> int:
             report = run_topology_rules(
                 topo, include_expensive=True, forwarding_kwargs=fwd_kwargs
             )
-    if args.format == "json":
-        print(report.to_json())
-    else:
+    if args.format == "text":
         _print_validate_text(report, topo)
+    else:
+        from .staticcheck import all_rules, render_report
+
+        print(render_report(report, args.format, rules=all_rules()))
     return report.exit_code(strict=args.strict)
 
 
+def _print_rule_catalogue() -> None:
+    from .staticcheck import all_rules
+
+    for info in all_rules():
+        print(f"{info.rule_id:<9} {info.severity.value:<8} {info.title}"
+              f"{'  [expensive]' if info.expensive else ''}")
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    from .staticcheck import all_rules, lint_paths
+    from .staticcheck import all_rules, lint_paths, render_report
 
     if args.list_rules:
-        for info in all_rules():
-            print(f"{info.rule_id:<9} {info.severity.value:<8} {info.title}"
-                  f"{'  [expensive]' if info.expensive else ''}")
+        _print_rule_catalogue()
         return 0
     rule_ids = None
     if args.rules:
@@ -173,10 +181,58 @@ def cmd_lint(args: argparse.Namespace) -> int:
                   f"(known: {known})", file=sys.stderr)
             return 2
     report = lint_paths(args.paths, rule_ids=rule_ids)
-    if args.format == "json":
-        print(report.to_json())
-    else:
-        print(report.render_text())
+    print(render_report(report, args.format, rules=all_rules()))
+    return report.exit_code(strict=args.strict)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """The unified gate: every rule family, one report, one exit code."""
+    from .staticcheck import FAMILIES, all_rules, render_report, run_check
+    from .staticcheck.semantics import Baseline
+
+    if args.list_rules:
+        _print_rule_catalogue()
+        return 0
+    families = None
+    if args.family:
+        families = [f.strip().upper() for f in args.family.split(",")
+                    if f.strip()]
+        unknown = sorted(set(families) - set(FAMILIES))
+        if unknown:
+            print(f"error: unknown rule family(ies): {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(FAMILIES))})", file=sys.stderr)
+            return 2
+    wanted = set(families) if families else set(FAMILIES)
+    topo = None
+    if wanted & {"TOPO", "WIRE", "FWD"}:
+        if args.input:
+            try:
+                topo = load_topology(args.input)
+            except OSError as exc:
+                print(f"error: cannot read topology {args.input!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+        else:
+            topo = _build_cluster(args).topo
+    baseline = Baseline.load(args.baseline)
+    report = run_check(
+        families=families,
+        paths=args.paths,
+        topo=topo,
+        forwarding_kwargs={"max_pairs": args.probe_pairs},
+        baseline=baseline,
+    )
+    if args.update_baseline:
+        Baseline.from_report(report).save(args.baseline)
+        print(f"baseline rewritten: {args.baseline} "
+              f"({len(report.active)} entries)", file=sys.stderr)
+        return 0
+    stale = baseline.stale_entries(report)
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (debt paid down; "
+              f"re-run with --update-baseline)", file=sys.stderr)
+    print(render_report(report, args.format, rules=all_rules()))
     return report.exit_code(strict=args.strict)
 
 
@@ -453,7 +509,8 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--all", action="store_true",
                    help="run every analyzer family in one pass and report "
                         "all diagnostics (no staged early exit)")
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text")
     p.add_argument("--strict", action="store_true",
                    help="warnings also fail the gate")
     p.set_defaults(func=cmd_validate)
@@ -461,13 +518,45 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="run codebase AST lint rules (LINT*)")
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text")
     p.add_argument("--strict", action="store_true",
                    help="warnings also fail the gate")
     p.add_argument("--rules", help="comma-separated rule ids to run")
     p.add_argument("--list-rules", action="store_true",
                    help="print the full rule catalogue and exit")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "check",
+        help="unified gate: run every rule family "
+             "(TOPO/WIRE/FWD/LINT/SEM) into one report",
+    )
+    _add_build_args(p)
+    p.add_argument("paths", nargs="*",
+                   help="source tree to lint/index (default: the "
+                        "installed repro package)")
+    p.add_argument("--input", "-i",
+                   help="topology JSON for the TOPO/WIRE/FWD families "
+                        "(default: build one from the --arch options)")
+    p.add_argument("--family",
+                   help="comma-separated families to run "
+                        "(TOPO,WIRE,FWD,LINT,SEM; default: all)")
+    p.add_argument("--probe-pairs", type=int, default=32,
+                   help="host pairs to probe in the forwarding check")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text")
+    p.add_argument("--baseline", default="SEM_BASELINE.json",
+                   help="grandfathered-findings file "
+                        "(default: SEM_BASELINE.json)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from the current findings "
+                        "and exit 0")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also fail the gate")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the full rule catalogue and exit")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("complexity", help="print Table 1")
     p.set_defaults(func=cmd_complexity)

@@ -14,6 +14,7 @@ structure (up/down) and never needs generic shortest paths. An export to
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -289,6 +290,30 @@ class Topology:
         cursor to :attr:`state_epoch` after consuming them.
         """
         return self._state_log[since:]
+
+    @contextmanager
+    def transient_state(self) -> Iterator["Topology"]:
+        """Scoped what-if failures: snapshot link/switch state, restore
+        on exit.
+
+        Inside the block, callers use the normal mutators
+        (:meth:`set_link_state` / :meth:`fail_node`), so every
+        transition bumps :attr:`state_epoch` and lands in the state log
+        -- epoch-diffing consumers (route caches, compiled FIBs) observe
+        both the failure and the restore. This is the sanctioned way to
+        write failure sweeps (SPOF analysis, Monte-Carlo what-ifs);
+        flipping ``link.up`` directly bypasses the epoch and poisons
+        caches (flagged by SEM001).
+        """
+        link_state = {lid: link.up for lid, link in self.links.items()}
+        switch_state = {name: sw.up for name, sw in self.switches.items()}
+        try:
+            yield self
+        finally:
+            for name, up in switch_state.items():
+                self.switches[name].up = up
+            for lid, up in link_state.items():
+                self.set_link_state(lid, up)
 
     def notify_structure_changed(self) -> None:
         """Record out-of-band rewiring (e.g. moving a link endpoint).

@@ -94,9 +94,13 @@ def max_min_rates(
         dl for dl, n in unfixed_count.items() if n > 0 and remaining_cap[dl] > _EPS
     }
     while active_links:
-        # bottleneck: the link offering the smallest fair share
+        # bottleneck: the link offering the smallest fair share; ties
+        # break on the smallest dirlink id so fixing order (and with it
+        # rates-dict insertion order and on_bottleneck callbacks) never
+        # depends on set iteration order
         share, bottleneck = min(
-            ((remaining_cap[dl] / unfixed_count[dl], dl) for dl in active_links),
+            ((remaining_cap[dl] / unfixed_count[dl], dl)
+             for dl in sorted(active_links)),
             key=lambda t: t[0],
         )
         newly_fixed = [
@@ -111,7 +115,7 @@ def max_min_rates(
                 unfixed_count[dl] -= 1
         drop = [
             dl
-            for dl in active_links
+            for dl in sorted(active_links)
             if unfixed_count[dl] <= 0 or remaining_cap[dl] <= _EPS
         ]
         for dl in drop:
@@ -123,7 +127,7 @@ def max_min_rates(
         # remove links whose flows were all fixed elsewhere
         active_links = {
             dl
-            for dl in active_links
+            for dl in sorted(active_links)
             if unfixed_count[dl] > 0 and remaining_cap[dl] > _EPS
         }
     for f in flows:

@@ -48,17 +48,13 @@ def analyze_tor_spof(topo: Topology) -> SpofReport:
     report = SpofReport()
     for sw in topo.switches_by_role(SwitchRole.TOR):
         report.switches_checked += 1
-        failed_links = topo.fail_node(sw.name)
-        try:
+        with topo.transient_state():
+            topo.fail_node(sw.name)
             victims = [
                 h for h in topo.hosts_of_tor(sw.name) if _host_disconnected(topo, h)
             ]
             if victims:
                 report.spof_switches.append(sw.name)
-        finally:
-            topo.recover_node(sw.name)
-            for lid in failed_links:
-                topo.set_link_state(lid, up=True)
     return report
 
 
@@ -76,22 +72,19 @@ def analyze_access_link_spof(topo: Topology, sample_every: int = 1) -> SpofRepor
                 if (count - 1) % sample_every:
                     continue
                 report.links_checked += 1
-                link = topo.links[port.link_id]
-                link.up = False
-                try:
+                # through the mutator, not `link.up = False`: the state
+                # epoch must bump so route caches see the what-if
+                # failure (and the restore) instead of serving stale
+                # paths ever after
+                with topo.transient_state():
+                    topo.set_link_state(port.link_id, up=False)
                     if _host_disconnected(topo, host.name):
-                        report.spof_links.append(link.link_id)
-                finally:
-                    link.up = True
+                        report.spof_links.append(port.link_id)
     return report
 
 
 def disconnected_hosts_on_tor_failure(topo: Topology, tor: str) -> List[str]:
     """Hosts that would lose connectivity if ``tor`` crashed."""
-    failed = topo.fail_node(tor)
-    try:
+    with topo.transient_state():
+        topo.fail_node(tor)
         return [h for h in topo.hosts_of_tor(tor) if _host_disconnected(topo, h)]
-    finally:
-        topo.recover_node(tor)
-        for lid in failed:
-            topo.set_link_state(lid, up=True)

@@ -1,35 +1,53 @@
 """Unified static-analysis layer.
 
-Two analyzer families behind one registry and one diagnostic model:
+Three analyzer families behind one registry and one diagnostic model:
 
 * **topology/config rules** (``TOPO*``/``WIRE*``/``FWD*``) -- collecting
   invariant checks over a live or serialized
   :class:`~repro.core.topology.Topology`;
-* **codebase lint rules** (``LINT*``) -- AST hygiene checks over the
-  simulator's own sources.
+* **codebase lint rules** (``LINT*``) -- per-file AST hygiene checks
+  over the simulator's own sources;
+* **semantic rules** (``SEM*``) -- project-wide contracts (epoch
+  discipline, engine determinism, cache coherence, layering) over the
+  whole-tree :class:`~repro.staticcheck.semantics.ProjectIndex`.
 
-Entry points: :func:`analyze_topology`, :func:`lint_paths`, and the CLI
-commands ``repro validate --all`` / ``repro lint``. See
+Entry points: :func:`analyze_topology`, :func:`lint_paths`,
+:func:`repro.staticcheck.semantics.analyze_project`, and the unified
+:func:`run_check` behind the ``repro check`` CLI. See
 ``docs/static_analysis.md`` for the rule catalogue and suppression
 syntax.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .semantics import Baseline
 
 from ..core.serialize import load_topology, topology_from_dict
 from ..core.topology import Topology
 from .ast_rules import LintRule, lint_paths, lint_source
-from .diagnostics import Diagnostic, Location, Report, Severity
+from .diagnostics import (
+    Diagnostic,
+    Location,
+    Report,
+    Severity,
+    render_report,
+    to_sarif,
+)
 from .registry import (
     AST_RULES,
+    FAMILIES,
+    SEMANTIC_RULES,
     TOPOLOGY_RULES,
     RuleInfo,
     RuleRegistrationError,
     all_rules,
+    family_of,
     get_rule,
     lint_rule,
+    semantic_rule,
     topology_rule,
 )
 from .topo_rules import TopoContext, resolve_spec, run_topology_rules
@@ -60,8 +78,69 @@ def analyze_topology(
     )
 
 
+#: the topology-bound families within the unified gate
+_TOPOLOGY_FAMILIES = frozenset({"TOPO", "WIRE", "FWD"})
+
+
+def run_check(
+    families: Optional[Sequence[str]] = None,
+    paths: Optional[Sequence[str]] = None,
+    topo: Optional[Union[Topology, Dict, str]] = None,
+    forwarding_kwargs: Optional[Dict[str, object]] = None,
+    baseline: Optional["Baseline"] = None,
+) -> Report:
+    """The unified gate: run every requested rule family into one report.
+
+    * ``TOPO``/``WIRE``/``FWD`` run when ``topo`` is given (the
+      expensive wiring/forwarding walks only when their family is
+      requested);
+    * ``LINT`` lints ``paths`` per file;
+    * ``SEM`` indexes the project tree under ``paths[0]`` once and runs
+      the project-wide semantic rules.
+
+    A :class:`~repro.staticcheck.semantics.Baseline` (when given) is
+    applied to the merged report, so grandfathered findings of any
+    family stop gating while staying visible as suppressed.
+    """
+    wanted: Set[str] = set(families) if families else set(FAMILIES)
+    unknown = wanted - set(FAMILIES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule families: {sorted(unknown)} "
+            f"(known: {sorted(FAMILIES)})"
+        )
+    if not paths:
+        import repro as _repro
+
+        paths = [_repro.__path__[0]]
+    report = Report()
+    if wanted & _TOPOLOGY_FAMILIES and topo is not None:
+        topo_report = analyze_topology(
+            topo,
+            include_expensive=bool(wanted & {"WIRE", "FWD"}),
+            forwarding_kwargs=forwarding_kwargs,
+        )
+        topo_report.diagnostics = [
+            d for d in topo_report.diagnostics
+            if family_of(d.rule_id) in wanted
+        ]
+        report.merge(topo_report)
+    if "LINT" in wanted:
+        report.merge(lint_paths(paths))
+    if "SEM" in wanted:
+        from . import semantics
+
+        index = semantics.build_project_index(paths)
+        semantics.run_semantic_rules(index, report=report)
+    if baseline is not None:
+        baseline.apply(report)
+    return report
+
+
 __all__ = [
     "AST_RULES",
+    "FAMILIES",
+    "SEMANTIC_RULES",
     "TOPOLOGY_RULES",
     "Diagnostic",
     "LintRule",
@@ -73,11 +152,16 @@ __all__ = [
     "TopoContext",
     "all_rules",
     "analyze_topology",
+    "family_of",
     "get_rule",
     "lint_paths",
     "lint_rule",
     "lint_source",
+    "render_report",
     "resolve_spec",
+    "run_check",
     "run_topology_rules",
+    "semantic_rule",
+    "to_sarif",
     "topology_rule",
 ]

@@ -203,3 +203,109 @@ class Report:
         for d in data.get("diagnostics", []):
             report.add(Diagnostic.from_dict(d))
         return report
+
+
+# ----------------------------------------------------------------------
+# shared rendering: every family, every CLI command, one code path
+# ----------------------------------------------------------------------
+#: severity -> SARIF result level
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _sarif_uri(path: Optional[str]) -> str:
+    """Repo-relative, forward-slash artifact URI for a finding."""
+    if not path:
+        return "<none>"
+    norm = path.replace("\\", "/")
+    pos = norm.rfind("/src/")
+    if pos >= 0:
+        return norm[pos + 1:]
+    return norm.lstrip("/")
+
+
+def to_sarif(
+    report: Report,
+    tool_name: str = "repro-check",
+    rules: Optional[Iterable[Any]] = None,
+) -> Dict[str, Any]:
+    """Project a report into a SARIF 2.1.0 log (one run).
+
+    ``rules`` is an optional iterable of catalogue entries (anything
+    with ``rule_id``/``title``/``severity`` attributes, i.e.
+    :class:`~repro.staticcheck.registry.RuleInfo`); when given, the
+    tool driver advertises them so SARIF viewers show titles and
+    default levels. Suppressed findings are emitted with an in-source
+    suppression record instead of being dropped -- SARIF consumers
+    treat those as audit trail, same as :attr:`Report.active` does.
+    """
+    driver: Dict[str, Any] = {
+        "name": tool_name,
+        "informationUri": "https://github.com/alibaba/hpn",
+        "rules": [],
+    }
+    emitted_ids = {d.rule_id for d in report.diagnostics}
+    if rules is not None:
+        for info in rules:
+            if info.rule_id not in emitted_ids:
+                continue
+            driver["rules"].append({
+                "id": info.rule_id,
+                "shortDescription": {"text": info.title},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVEL[info.severity.value]
+                },
+            })
+    results: List[Dict[str, Any]] = []
+    for diag in report.sorted():
+        result: Dict[str, Any] = {
+            "ruleId": diag.rule_id,
+            "level": _SARIF_LEVEL[diag.severity.value],
+            "message": {"text": diag.message},
+        }
+        loc = diag.location
+        if loc.file is not None:
+            region: Dict[str, Any] = {}
+            if loc.line is not None:
+                region["startLine"] = loc.line
+            physical: Dict[str, Any] = {
+                "artifactLocation": {"uri": _sarif_uri(loc.file)},
+            }
+            if region:
+                physical["region"] = region
+            result["locations"] = [{"physicalLocation": physical}]
+        elif loc.obj is not None:
+            result["locations"] = [{
+                "logicalLocations": [{"fullyQualifiedName": loc.obj}],
+            }]
+        if diag.suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
+
+
+def render_report(
+    report: Report,
+    fmt: str = "text",
+    rules: Optional[Iterable[Any]] = None,
+    max_findings: Optional[int] = None,
+) -> str:
+    """One renderer for every analyzer family and output format.
+
+    ``fmt`` is ``"text"`` | ``"json"`` | ``"sarif"``; every CLI entry
+    point (``validate``, ``lint``, ``check``) funnels through here so
+    formats never drift between families again.
+    """
+    if fmt == "json":
+        return report.to_json()
+    if fmt == "sarif":
+        return json.dumps(to_sarif(report, rules=rules), indent=2)
+    if fmt == "text":
+        return report.render_text(max_findings=max_findings)
+    raise ValueError(f"unknown report format {fmt!r}")

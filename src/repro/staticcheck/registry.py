@@ -12,7 +12,10 @@ Rule ids are namespaced by family:
 * ``TOPO###`` -- structural topology invariants (cheap, always run);
 * ``WIRE###`` / ``FWD###`` -- deep wiring/forwarding analyses (sampled
   walks; run by ``validate --all`` or on request);
-* ``LINT###`` -- codebase AST hygiene rules.
+* ``LINT###`` -- codebase AST hygiene rules (per-file);
+* ``SEM###`` -- project-wide semantic rules over the
+  :class:`~repro.staticcheck.semantics.ProjectIndex` (import graph,
+  call graph, dataflow); registered with :func:`semantic_rule`.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ class RuleInfo:
     rule_id: str
     title: str
     severity: Severity
-    kind: str  # "topology" | "ast"
+    kind: str  # "topology" | "ast" | "semantic"
     #: architectures the rule applies to; None means every architecture
     architectures: Optional[frozenset] = None
     #: expensive rules (flow walks) only run when explicitly requested
@@ -50,6 +53,22 @@ class RegisteredRule:
 
 TOPOLOGY_RULES: Dict[str, RegisteredRule] = {}
 AST_RULES: Dict[str, RegisteredRule] = {}
+SEMANTIC_RULES: Dict[str, RegisteredRule] = {}
+
+#: family prefix -> the registry table its rules live in (the CLI's
+#: ``--family`` option and the docs enumerate exactly these)
+FAMILIES: Dict[str, str] = {
+    "TOPO": "topology",
+    "WIRE": "topology",
+    "FWD": "topology",
+    "LINT": "ast",
+    "SEM": "semantic",
+}
+
+
+def family_of(rule_id: str) -> str:
+    """The family prefix of a rule id (``"SEM001"`` -> ``"SEM"``)."""
+    return rule_id.rstrip("0123456789")
 
 
 class RuleRegistrationError(Exception):
@@ -106,16 +125,38 @@ def lint_rule(
     return deco
 
 
+def semantic_rule(
+    rule_id: str, title: str, severity: Severity = Severity.ERROR
+) -> Callable:
+    """Register ``fn(ctx)`` as a project-wide semantic rule.
+
+    ``ctx`` is a :class:`~repro.staticcheck.semantics.rules.SemContext`
+    wrapping the shared :class:`ProjectIndex`; the rule walks indexed
+    modules/graphs and emits diagnostics through the context.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        info = RuleInfo(
+            rule_id=rule_id, title=title, severity=severity, kind="semantic"
+        )
+        return _register(SEMANTIC_RULES, info, fn)
+
+    return deco
+
+
+_KIND_ORDER = {"topology": 0, "ast": 1, "semantic": 2}
+
+
 def all_rules() -> List[RuleInfo]:
-    """The full catalogue, topology rules first, sorted by id."""
+    """The full catalogue: topology, then ast, then semantic rules."""
     infos = [r.info for r in TOPOLOGY_RULES.values()]
     infos += [r.info for r in AST_RULES.values()]
-    return sorted(infos, key=lambda i: (i.kind != "topology", i.rule_id))
+    infos += [r.info for r in SEMANTIC_RULES.values()]
+    return sorted(infos, key=lambda i: (_KIND_ORDER[i.kind], i.rule_id))
 
 
 def get_rule(rule_id: str) -> RegisteredRule:
-    if rule_id in TOPOLOGY_RULES:
-        return TOPOLOGY_RULES[rule_id]
-    if rule_id in AST_RULES:
-        return AST_RULES[rule_id]
+    for table in (TOPOLOGY_RULES, AST_RULES, SEMANTIC_RULES):
+        if rule_id in table:
+            return table[rule_id]
     raise KeyError(f"unknown rule {rule_id!r}")

@@ -1,0 +1,52 @@
+"""Project-wide semantic analysis: index, call graph, SEM rules.
+
+The per-file LINT rules see one AST at a time; the SEM family sees the
+whole package -- module/symbol tables, the import graph, a conservative
+call graph, and attribute-assignment dataflow -- so it can check the
+cross-module contracts the incremental hot paths (PRs 4-5) rely on:
+epoch discipline, engine determinism, cache coherence, layering.
+
+Entry point::
+
+    from repro.staticcheck.semantics import analyze_project
+    report = analyze_project(["src/repro"])
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..diagnostics import Report
+from .baseline import DEFAULT_BASELINE, Baseline, fingerprint, normalize_path
+from .callgraph import CallGraph, experiment_entry_points
+from .index import BACKEND_MARKER, ProjectIndex, build_project_index
+from .rules import SemContext, run_semantic_rules
+
+
+def analyze_project(
+    paths: Optional[Sequence[str]] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> Report:
+    """Index the tree once, run the SEM family, apply the baseline."""
+    index = build_project_index(paths)
+    report = run_semantic_rules(index, rule_ids=rule_ids)
+    if baseline is not None:
+        baseline.apply(report)
+    return report
+
+
+__all__ = [
+    "BACKEND_MARKER",
+    "Baseline",
+    "CallGraph",
+    "DEFAULT_BASELINE",
+    "ProjectIndex",
+    "SemContext",
+    "analyze_project",
+    "build_project_index",
+    "experiment_entry_points",
+    "fingerprint",
+    "normalize_path",
+    "run_semantic_rules",
+]

@@ -1,0 +1,130 @@
+"""Grandfathering: a committed baseline of known findings.
+
+A baseline lets ``repro check`` gate CI on *new* diagnostics while an
+existing debt list is paid down incrementally. Entries are fingerprinted
+by ``(rule_id, normalized file path, message)`` -- deliberately **not**
+by line number, so unrelated edits above a finding don't churn the file.
+Two identical findings in one file need two baseline entries (matching
+is multiset-style), so debt can't silently grow behind one entry.
+
+The repo policy (ISSUE 6): the baseline stays **empty for
+ERROR-severity rules** -- errors get fixed or ``# repro: noqa[...]``-ed
+with a comment at the site, never grandfathered wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..diagnostics import Diagnostic, Report
+
+BASELINE_VERSION = 1
+#: default committed location, relative to the repo root
+DEFAULT_BASELINE = "SEM_BASELINE.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+def normalize_path(path: Optional[str]) -> str:
+    """Stable, checkout-independent form of a diagnostic's file path.
+
+    Absolute prefixes differ per machine; everything from the last
+    ``src/`` component (or the basename chain from the package dir) is
+    identical everywhere, so fingerprints survive CI/dev/worktree moves.
+    """
+    if not path:
+        return "<none>"
+    norm = path.replace(os.sep, "/")
+    marker = "/src/"
+    pos = norm.rfind(marker)
+    if pos >= 0:
+        return norm[pos + len(marker):]
+    return norm.lstrip("/")
+
+
+def fingerprint(diag: Diagnostic) -> Fingerprint:
+    return (diag.rule_id, normalize_path(diag.location.file), diag.message)
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered fingerprints."""
+
+    entries: Counter  # type: Counter[Fingerprint]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=Counter())
+
+    @classmethod
+    def from_report(cls, report: Report) -> "Baseline":
+        return cls(entries=Counter(
+            fingerprint(d) for d in report.diagnostics if not d.suppressed
+        ))
+
+    # -- persistence ---------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls.empty()
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        entries: Counter = Counter()
+        for item in data.get("entries", []):
+            key = (item["rule_id"], item["file"], item["message"])
+            entries[key] += int(item.get("count", 1))
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        items: List[Dict[str, object]] = []
+        for (rule_id, file, message), count in sorted(self.entries.items()):
+            item: Dict[str, object] = {
+                "rule_id": rule_id, "file": file, "message": message,
+            }
+            if count != 1:
+                item["count"] = count
+            items.append(item)
+        payload = {"version": BASELINE_VERSION, "entries": items}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    # -- application ---------------------------------------------------
+    def apply(self, report: Report) -> int:
+        """Mark baselined findings in ``report`` as suppressed.
+
+        Matching is multiset-style and in report order: an entry with
+        count N absorbs at most N identical findings. Returns how many
+        diagnostics were baselined out.
+        """
+        budget = Counter(self.entries)
+        hit = 0
+        for diag in report.diagnostics:
+            if diag.suppressed:
+                continue
+            key = fingerprint(diag)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                diag.suppressed = True
+                hit += 1
+        report.stats["baselined"] = report.stats.get("baselined", 0) + hit
+        return hit
+
+    def stale_entries(self, report: Report) -> List[Fingerprint]:
+        """Entries no longer matched by any finding (debt paid down --
+        these should be deleted from the committed file)."""
+        present = Counter(fingerprint(d) for d in report.diagnostics)
+        return sorted(
+            key for key, count in self.entries.items()
+            if present.get(key, 0) < count
+        )

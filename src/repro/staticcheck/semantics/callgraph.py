@@ -1,0 +1,188 @@
+"""Best-effort static call graph over the :class:`ProjectIndex`.
+
+Resolution is *conservative by construction*: an edge is added only
+when the callee is locally evident --
+
+* a bare name resolving through the module's (or function's own
+  nested) import bindings, or to a def/class in the same module;
+* ``self.m()`` / ``cls.m()`` inside a class, resolved through the
+  class then its named bases;
+* ``obj.m()`` where ``obj`` was assigned a constructor call of a known
+  class *in the same function* (local type inference), or is a
+  parameter annotated with a known class name;
+* ``module.f()`` through a module-alias binding;
+* constructing a known class adds an edge to its ``__init__``.
+
+Opaque dynamic dispatch (``self.thing.run()``, callbacks, getattr) is
+**not** followed; rules built on reachability (SEM002) therefore
+under-approximate rather than drowning the report in false positives.
+The tradeoff is documented in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .index import FunctionInfo, ModuleInfo, ProjectIndex
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # string annotations: take the head identifier
+        return node.value.split("[")[0].split(".")[-1].strip() or None
+    return None
+
+
+class CallGraph:
+    """``qualname -> set(qualname)`` call edges plus reachability."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.edges: Dict[str, Set[str]] = {}
+        #: call sites that could not be resolved (for diagnostics/tests)
+        self.unresolved: Dict[str, List[str]] = {}
+        for fn in index.functions.values():
+            self.edges[fn.qualname] = self._edges_of(fn)
+
+    # -- queries -------------------------------------------------------
+    def callees(self, qualname: str) -> Set[str]:
+        return self.edges.get(qualname, set())
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure of call edges from ``roots``."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.edges]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.edges.get(cur, ()))
+        return seen
+
+    # -- edge construction ---------------------------------------------
+    def _edges_of(self, fn: FunctionInfo) -> Set[str]:
+        index = self.index
+        mod = index.modules[fn.module]
+        local_types = self._local_types(fn, mod)
+        out: Set[str] = set()
+        missed: List[str] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._resolve_call(node.func, fn, mod, local_types)
+            if target is None:
+                name = ast.dump(node.func)[:40]
+                if isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                elif isinstance(node.func, ast.Name):
+                    name = node.func.id
+                missed.append(name)
+                continue
+            if target in index.classes:
+                init = index.classes[target].methods.get("__init__")
+                if init is not None:
+                    out.add(init)
+                continue
+            if target in index.functions:
+                out.add(target)
+        if missed:
+            self.unresolved[fn.qualname] = missed
+        return out
+
+    def _local_types(
+        self, fn: FunctionInfo, mod: ModuleInfo
+    ) -> Dict[str, str]:
+        """var name -> class qualname, from constructors and annotations."""
+        index = self.index
+        types: Dict[str, str] = {}
+        args = getattr(fn.node, "args", None)
+        if args is not None:
+            for arg in list(args.args) + list(args.kwonlyargs):
+                ann = _annotation_name(arg.annotation)
+                if ann is None:
+                    continue
+                resolved = index.resolve_binding(mod, ann, fn)
+                if resolved in index.classes:
+                    types[arg.arg] = resolved
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            tgt = node.targets[0]
+            if not isinstance(tgt, ast.Name):
+                continue
+            if isinstance(node.value, ast.Call) and isinstance(
+                node.value.func, ast.Name
+            ):
+                resolved = index.resolve_binding(mod, node.value.func.id, fn)
+                if resolved in index.classes:
+                    types[tgt.id] = resolved
+        return types
+
+    def _resolve_call(
+        self,
+        func: ast.AST,
+        fn: FunctionInfo,
+        mod: ModuleInfo,
+        local_types: Dict[str, str],
+    ) -> Optional[str]:
+        index = self.index
+        if isinstance(func, ast.Name):
+            return index.resolve_binding(mod, func.id, fn)
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id in ("self", "cls") and fn.cls is not None:
+                return self._method(fn.cls, func.attr, mod)
+            if base.id in local_types:
+                return self._method(local_types[base.id], func.attr, mod)
+            bound = index.resolve_binding(mod, base.id, fn)
+            if bound is not None:
+                return index.resolve(f"{bound}.{func.attr}")
+            # module alias bound at module level (``from .. import x``)
+            target = fn.local_imports.get(base.id) or mod.bindings.get(base.id)
+            if target is not None:
+                return index.resolve(f"{target}.{func.attr}")
+        return None
+
+    def _method(self, cls_qual: str, name: str,
+                mod: ModuleInfo) -> Optional[str]:
+        """Look up a method on a class, then its named bases (by MRO-ish
+        left-to-right search through resolvable base names)."""
+        index = self.index
+        seen: Set[str] = set()
+        stack = [cls_qual]
+        while stack:
+            cur = stack.pop(0)
+            if cur in seen or cur not in index.classes:
+                continue
+            seen.add(cur)
+            info = index.classes[cur]
+            if name in info.methods:
+                return info.methods[name]
+            for base in info.bases:
+                resolved = index.resolve_binding(index.modules[info.module],
+                                                 base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+
+def experiment_entry_points(index: ProjectIndex) -> List[str]:
+    """Qualnames of functions registered as engine experiments.
+
+    Matches the ``@experiment(...)`` decorator by (resolved or bare)
+    name, so both the real ``repro.engine.spec.experiment`` and fixture
+    packages using the same convention are found.
+    """
+    out = []
+    for fn in index.functions.values():
+        if "experiment" in fn.decorators:
+            out.append(fn.qualname)
+    return sorted(out)

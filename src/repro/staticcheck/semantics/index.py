@@ -1,0 +1,360 @@
+"""Project-wide symbol/import index: the substrate every SEM rule reads.
+
+One :class:`ProjectIndex` parses an entire package tree (``src/repro``)
+exactly once and exposes:
+
+* a **module table** -- dotted name -> :class:`ModuleInfo` (source, AST,
+  noqa lines);
+* a **symbol table** -- fully-qualified name -> :class:`FunctionInfo` /
+  :class:`ClassInfo` for every def/class in the tree, including
+  methods and nested (function-local) imports;
+* an **import graph** -- which project modules each module imports,
+  with per-module *name bindings* (``shared_router`` ->
+  ``repro.routing.shared_router``) that survive re-exports: resolving a
+  dotted target chases ``from .montecarlo import FleetSimulation``
+  style package re-exports back to the defining module;
+* raw material for the call graph (:mod:`.callgraph`): per-function
+  call sites with best-effort receiver typing.
+
+The index is deliberately *syntactic*: no imports are executed, so it
+indexes broken or cyclic code the same way it indexes healthy code, and
+a full pass over the ~100-module tree stays well under a second.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ast_rules import _noqa_lines
+
+#: module-source marker that registers a module as a sanctioned
+#: topology backend (see SEM001); declarative on purpose, so pluggable
+#: fabric backends can opt in without the rule growing a hard-coded list
+BACKEND_MARKER = "# repro: topology-backend"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  #: e.g. ``repro.fabric.solver.IncrementalMaxMinSolver.solve``
+    module: str
+    name: str
+    cls: Optional[str]  #: owning class qualname, None for module-level defs
+    node: ast.AST
+    lineno: int
+    #: decorator call/name heads as written (``experiment``, ``lint_rule``...)
+    decorators: Tuple[str, ...] = ()
+    #: name bindings from imports *inside* the function body
+    local_imports: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its attribute surface."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, str] = field(default_factory=dict)  #: name -> qualname
+    #: attributes assigned via ``self.X = ...`` anywhere in the class,
+    #: plus annotated/assigned class-body attributes
+    attrs: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module."""
+
+    name: str  #: dotted, e.g. ``repro.fabric.solver``
+    path: str
+    source: str
+    tree: ast.Module
+    is_package: bool = False
+    #: local binding -> dotted target (module, or module.symbol)
+    bindings: Dict[str, str] = field(default_factory=dict)
+    #: project modules this module imports (module- and function-level)
+    import_edges: Set[str] = field(default_factory=set)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    noqa: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+    is_backend: bool = False
+
+    @property
+    def package(self) -> str:
+        """Top subpackage within the project (``repro.fabric.solver`` ->
+        ``fabric``); top-level modules map to their own stem."""
+        parts = self.name.split(".")
+        return parts[1] if len(parts) > 1 else parts[0]
+
+
+def _decorator_head(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _resolve_relative(module: ModuleInfo, level: int,
+                      target: Optional[str]) -> Optional[str]:
+    """``from ..core.topology import X`` inside a module -> dotted base."""
+    parts = module.name.split(".")
+    # the package containing this module; packages contain themselves
+    base = parts if module.is_package else parts[:-1]
+    if level - 1 > len(base):
+        return None
+    if level > 1:
+        base = base[: len(base) - (level - 1)]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+class ProjectIndex:
+    """Whole-tree module/symbol/import index (see module docstring)."""
+
+    def __init__(self, root: str, project: Optional[str] = None) -> None:
+        #: filesystem root of the package (the dir holding ``__init__.py``)
+        self.root = os.path.abspath(root)
+        #: dotted name of the root package (defaults to the dir name)
+        self.project = project or os.path.basename(self.root)
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: simple class name -> qualnames (for local constructor typing)
+        self.classes_by_name: Dict[str, List[str]] = {}
+        self.import_graph: Dict[str, Set[str]] = {}
+        self.stats: Dict[str, int] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------
+    def _build(self) -> None:
+        for path, dotted, is_pkg in self._walk():
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    source = fh.read()
+                tree = ast.parse(source, filename=path)
+            except (OSError, SyntaxError):
+                # unparseable files are LINT000's problem, not the index's
+                continue
+            mod = ModuleInfo(
+                name=dotted, path=path, source=source, tree=tree,
+                is_package=is_pkg, noqa=_noqa_lines(source),
+                is_backend=BACKEND_MARKER in source,
+            )
+            self.modules[dotted] = mod
+        for mod in self.modules.values():
+            self._index_module(mod)
+        for mod in self.modules.values():
+            self.import_graph[mod.name] = set(mod.import_edges)
+        self.stats["modules"] = len(self.modules)
+        self.stats["functions"] = len(self.functions)
+        self.stats["classes"] = len(self.classes)
+
+    def _walk(self):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            rel = os.path.relpath(dirpath, self.root)
+            parts = [] if rel == "." else rel.split(os.sep)
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                if fname == "__init__.py":
+                    dotted = ".".join([self.project] + parts)
+                    yield path, dotted, True
+                else:
+                    dotted = ".".join([self.project] + parts + [fname[:-3]])
+                    yield path, dotted, False
+
+    # -- per-module indexing -------------------------------------------
+    def _index_module(self, mod: ModuleInfo) -> None:
+        for stmt in mod.tree.body:
+            self._bind_import(mod, stmt, mod.bindings)
+        for node in mod.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._index_class(mod, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(mod, node, cls=None)
+
+    def _bind_import(self, mod: ModuleInfo, stmt: ast.stmt,
+                     into: Dict[str, str]) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                into[bound] = alias.name if alias.asname else alias.name.split(".")[0]
+                if alias.name.split(".")[0] == self.project:
+                    mod.import_edges.add(self._nearest_module(alias.name))
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level:
+                base = _resolve_relative(mod, stmt.level, stmt.module)
+            else:
+                base = stmt.module
+            if base is None:
+                return
+            for alias in stmt.names:
+                bound = alias.asname or alias.name
+                into[bound] = f"{base}.{alias.name}"
+                if base.split(".")[0] == self.project:
+                    mod.import_edges.add(
+                        self._nearest_module(f"{base}.{alias.name}")
+                    )
+
+    def _nearest_module(self, dotted: str) -> str:
+        """Longest prefix of ``dotted`` that is (or will be) a module."""
+        parts = dotted.split(".")
+        while len(parts) > 1 and ".".join(parts) not in self.modules:
+            parts.pop()
+        return ".".join(parts)
+
+    def _index_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        qual = f"{mod.name}.{node.name}"
+        info = ClassInfo(
+            qualname=qual, module=mod.name, name=node.name, node=node,
+            bases=tuple(
+                b for b in (_decorator_head(base) for base in node.bases)
+                if b is not None
+            ),
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._index_function(mod, stmt, cls=qual)
+                info.methods[stmt.name] = fn.qualname
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                info.attrs.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        info.attrs.add(tgt.id)
+        # every ``self.X = ...`` anywhere in the class body
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for tgt in targets:
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        info.attrs.add(tgt.attr)
+        mod.classes[qual] = info
+        self.classes[qual] = info
+        self.classes_by_name.setdefault(node.name, []).append(qual)
+
+    def _index_function(self, mod: ModuleInfo, node, cls: Optional[str]):
+        owner = cls if cls is not None else mod.name
+        qual = f"{owner}.{node.name}"
+        info = FunctionInfo(
+            qualname=qual, module=mod.name, name=node.name, cls=cls,
+            node=node, lineno=node.lineno,
+            decorators=tuple(
+                d for d in (
+                    _decorator_head(dec) for dec in node.decorator_list
+                ) if d is not None
+            ),
+        )
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                self._bind_import(mod, sub, info.local_imports)
+        mod.functions[qual] = info
+        self.functions[qual] = info
+        return info
+
+    # -- resolution ----------------------------------------------------
+    def resolve(self, dotted: str, _depth: int = 0) -> Optional[str]:
+        """Chase a dotted target through package re-exports.
+
+        Returns the defining qualname for a function/class (or the
+        module name itself) when the target lives in this project;
+        ``None`` for stdlib/third-party names.
+        """
+        if _depth > 8 or not dotted.startswith(self.project):
+            return None
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        if dotted in self.modules:
+            return dotted
+        head, _, leaf = dotted.rpartition(".")
+        if not head:
+            return None
+        owner = self.resolve(head, _depth + 1)
+        if owner is None:
+            return None
+        if owner in self.classes:
+            meth = self.classes[owner].methods.get(leaf)
+            return meth
+        if owner in self.modules:
+            mod = self.modules[owner]
+            direct = f"{owner}.{leaf}"
+            if direct in self.functions or direct in self.classes:
+                return direct
+            # re-export: ``from .montecarlo import FleetSimulation``
+            target = mod.bindings.get(leaf)
+            if target is not None and target != dotted:
+                return self.resolve(target, _depth + 1)
+        return None
+
+    def resolve_binding(self, mod: ModuleInfo, name: str,
+                        fn: Optional[FunctionInfo] = None) -> Optional[str]:
+        """Resolve a bare name used in ``mod`` (function scope first)."""
+        if fn is not None and name in fn.local_imports:
+            return self.resolve(fn.local_imports[name])
+        if name in mod.bindings:
+            return self.resolve(mod.bindings[name])
+        local = f"{mod.name}.{name}"
+        if local in self.functions or local in self.classes:
+            return local
+        return None
+
+    # -- aggregate views ----------------------------------------------
+    def package_graph(self) -> Dict[str, Set[str]]:
+        """Import edges collapsed to top-level subpackages."""
+        out: Dict[str, Set[str]] = {}
+        for src, targets in self.import_graph.items():
+            src_pkg = self.modules[src].package
+            bucket = out.setdefault(src_pkg, set())
+            for tgt in targets:
+                if tgt in self.modules:
+                    tgt_pkg = self.modules[tgt].package
+                elif tgt == self.project:
+                    tgt_pkg = self.project
+                else:
+                    tgt_pkg = tgt.split(".")[1] if "." in tgt else tgt
+                if tgt_pkg != src_pkg:
+                    bucket.add(tgt_pkg)
+        return out
+
+
+def build_project_index(
+    paths: Optional[Sequence[str]] = None,
+) -> ProjectIndex:
+    """Build the index for the project tree.
+
+    ``paths`` follows the CLI convention: the first entry should be the
+    package root (``src/repro``). With no argument the installed
+    ``repro`` package's own directory is indexed -- which is what
+    ``repro check`` does in CI.
+    """
+    if paths:
+        root = paths[0]
+    else:
+        import repro
+
+        root = repro.__path__[0]
+    return ProjectIndex(root)

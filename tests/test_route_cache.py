@@ -202,6 +202,90 @@ class TestPreciseInvalidation:
         assert cached.access_legs(src) is not legs_before
 
 
+class TestTransientState:
+    """Satellite: what-if failures through ``Topology.transient_state``.
+
+    The pre-fix ``reliability/singlepoint.py`` flipped ``link.up``
+    directly -- no ``state_epoch`` bump, so a ``CachedRouter`` kept
+    serving the path over the dead link (the cache-poisoning pattern
+    SEM001 now flags). The context manager routes the same what-if
+    through the mutators, and the cache observes both the failure and
+    the restore.
+    """
+
+    def test_direct_flip_poisons_cache_transient_state_does_not(
+        self, hpn_mutable
+    ):
+        topo = hpn_mutable
+        src = rail_nic(topo, "pod0/seg0/host0")
+        dst = rail_nic(topo, "pod0/seg1/host2")
+        oracle, cached = Router(topo), CachedRouter(topo)
+        ft = make_ft(src, dst)
+        baseline = outcome(cached, src, dst, ft)
+        assert baseline == outcome(oracle, src, dst, ft)
+        lid = leg_for_plane(oracle, dst, 0).link.link_id
+        # the PRE-FIX pattern: a direct flip never bumps state_epoch,
+        # so the cache serves the stale path while the uncached oracle
+        # has already failed over -- this is the bug being regressed
+        epoch_before = topo.state_epoch
+        topo.links[lid].up = False
+        try:
+            stale = outcome(cached, src, dst, ft)
+            live = outcome(oracle, src, dst, ft)
+            assert topo.state_epoch == epoch_before
+            assert stale == baseline
+            assert live != baseline
+            assert stale != live
+        finally:
+            topo.links[lid].up = True
+        # the sanctioned pattern: same what-if through transient_state
+        # + set_link_state; cached and oracle agree on the failover
+        with topo.transient_state():
+            topo.set_link_state(lid, up=False)
+            degraded = outcome(cached, src, dst, ft)
+            assert degraded == outcome(oracle, src, dst, ft)
+            assert degraded != baseline
+        assert topo.state_epoch > epoch_before
+        # ...and the restore is observed too: back to the baseline path
+        assert outcome(cached, src, dst, ft) == baseline
+
+    def test_transient_state_restores_switches_and_links(
+        self, hpn_mutable
+    ):
+        topo = hpn_mutable
+        oracle = Router(topo)
+        dst = rail_nic(topo, "pod0/seg1/host3")
+        tor = leg_for_plane(oracle, dst, 0).tor
+        link_state = {lid: l.up for lid, l in topo.links.items()}
+        with topo.transient_state():
+            topo.fail_node(tor)
+            assert not topo.switches[tor].up
+        assert topo.switches[tor].up
+        assert {lid: l.up for lid, l in topo.links.items()} == link_state
+
+    def test_spof_analysis_leaves_caches_coherent(self, hpn_mutable):
+        """End to end: the fixed SPOF sweep next to a live CachedRouter."""
+        from repro.reliability.singlepoint import (
+            analyze_access_link_spof,
+            analyze_tor_spof,
+        )
+
+        topo = hpn_mutable
+        src = rail_nic(topo, "pod0/seg0/host4")
+        dst = rail_nic(topo, "pod0/seg1/host5")
+        oracle, cached = Router(topo), CachedRouter(topo)
+        ft = make_ft(src, dst)
+        baseline = outcome(cached, src, dst, ft)
+        report = analyze_tor_spof(topo)
+        assert report.is_spof_free
+        report = analyze_access_link_spof(topo, sample_every=4)
+        assert report.is_spof_free and report.links_checked > 0
+        # every what-if was epoch-logged and restored: the cache agrees
+        # with the oracle and with its own pre-sweep answer
+        after = outcome(cached, src, dst, ft)
+        assert after == outcome(oracle, src, dst, ft) == baseline
+
+
 class TestAccessLegMemo:
     def test_memoized_until_structure_epoch_moves(self, hpn_mutable):
         topo = hpn_mutable
