@@ -340,6 +340,74 @@ def cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import policy_names, run_churn, run_interference
+
+    if args.policy not in policy_names():
+        raise SystemExit(
+            f"error: unknown policy {args.policy!r} "
+            f"(registered: {', '.join(policy_names())})"
+        )
+    params = {
+        "arch": args.arch,
+        "segments": args.segments,
+        "hosts_per_segment": args.hosts,
+        "aggs_per_plane": args.aggs,
+        "policy": args.policy,
+        "frontend": not args.no_frontend,
+        "mean_interarrival_s": args.interarrival,
+        "mean_duration_s": args.duration,
+    }
+    if args.mode == "interference":
+        out = run_interference(params, args.seed)
+        print(f"interference on {args.arch} "
+              f"({args.segments}x{args.hosts} hosts), "
+              f"jobs of {out['gpu_sizes']} GPUs:")
+        for policy, r in out["policies"].items():
+            backend = r["backend"]
+            tiers = ", ".join(f"{t}={u:.2f}"
+                              for t, u in backend["tier_util"].items())
+            print(f"  {policy:<11} slowdown mean {backend['mean_slowdown']:.2f}x "
+                  f"max {backend['max_slowdown']:.2f}x  util {tiers}")
+            for cls in r["frontend"].get("classes", []):
+                print(f"  {'':<11} fe/{cls['name']:<20} "
+                      f"offered {cls['offered_gbps']:8.1f} Gbps "
+                      f"achieved {cls['achieved_gbps']:8.1f} "
+                      f"({cls['contention']:.2f})")
+        return 0
+    params.update({"arrivals": args.arrivals, "snapshots": args.snapshots})
+    out = run_churn(params, args.seed)
+    print(f"fleet churn: {out['arrivals']} arrivals on {args.arch} "
+          f"({args.segments}x{args.hosts} hosts), policy {out['policy']}")
+    print(f"  admitted  : {out['admitted']} "
+          f"(rejected {out['rejected']}, completed {out['completed']})")
+    wait = out["queue_wait"]
+    print(f"  queue wait: mean {wait['mean_s']:.0f}s  p50 {wait['p50_s']:.0f}s "
+          f"p95 {wait['p95_s']:.0f}s  max {wait['max_s']:.0f}s")
+    frag = out["fragmentation"]
+    print(f"  fragmentation: mean {frag['mean']:.3f} max {frag['max']:.3f} "
+          f"({frag['multi_segment_jobs']} multi-segment, "
+          f"{frag['cross_pod_jobs']} cross-pod)")
+    print(f"  makespan  : {out['makespan_s']:.0f}s  "
+          f"gpu utilization {out['gpu_utilization']:.1%}")
+    for snap in out["snapshots"]:
+        backend = snap["backend"]
+        line = (f"  t={snap['t_s']:8.0f}s  {snap['jobs_running']:3d} running "
+                f"{snap['queue_depth']:3d} queued")
+        if backend:
+            tiers = ", ".join(f"{t}={u:.2f}"
+                              for t, u in backend["tier_util"].items())
+            line += (f"  slowdown {backend['mean_slowdown']:.2f}x "
+                     f"(max {backend['max_slowdown']:.2f}x)  {tiers}")
+        fe = snap["frontend"]
+        if fe.get("classes"):
+            storms = sum(1 for c in fe["classes"]
+                         if c["kind"] == "checkpoint")
+            line += f"  fe classes {len(fe['classes'])} ({storms} storms)"
+        print(line)
+    return 0
+
+
 def _parse_param_value(text: str):
     """CLI param literal -> typed value (bool/int/float/str)."""
     lowered = text.lower()
@@ -599,6 +667,32 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--repair-at", type=float, default=60.0)
     p.add_argument("--duration", type=float, default=300.0)
     p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser(
+        "fleet",
+        help="multi-job fleet simulation (churn / interference)",
+    )
+    p.add_argument("--mode", default="churn",
+                   choices=["churn", "interference"])
+    p.add_argument("--arch", default="hpn", choices=["hpn", "dcnplus"])
+    p.add_argument("--segments", type=int, default=4)
+    p.add_argument("--hosts", type=int, default=16,
+                   help="hosts per segment")
+    p.add_argument("--aggs", type=int, default=8,
+                   help="aggs per plane (hpn)")
+    p.add_argument("--policy", default="pack",
+                   help="placement policy (pack/spread/interleave)")
+    p.add_argument("--arrivals", type=int, default=60)
+    p.add_argument("--snapshots", type=int, default=3,
+                   help="interference snapshots over the run")
+    p.add_argument("--interarrival", type=float, default=120.0,
+                   help="mean interarrival (seconds)")
+    p.add_argument("--duration", type=float, default=3600.0,
+                   help="mean job duration (seconds)")
+    p.add_argument("--no-frontend", action="store_true",
+                   help="skip the frontend traffic classes")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("exp", help="experiment engine (list/run/compare)")
     exp_sub = p.add_subparsers(dest="exp_command", required=True)

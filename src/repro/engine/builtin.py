@@ -252,3 +252,64 @@ def bench_routing(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
     from ..routing.routebench import run_routing_bench
 
     return run_routing_bench(dict(params), seed)
+
+
+# ----------------------------------------------------------------------
+# fleet: multi-job churn, placement policies, frontend traffic classes
+# ----------------------------------------------------------------------
+@experiment(
+    "fleet.churn",
+    "Multi-job churn on one backend fabric: Figure-6 arrivals through "
+    "a placement policy, with queue waits, fragmentation, and "
+    "interference snapshots against frontend traffic classes",
+    defaults={
+        "arch": "hpn", "segments": 4, "hosts_per_segment": 16,
+        "aggs_per_plane": 8, "pods": 1, "arrivals": 60,
+        "policy": "pack", "snapshots": 3, "frontend": True,
+        "mean_interarrival_s": 120.0, "mean_duration_s": 3600.0,
+        "edge_mb": 64.0,
+    },
+)
+def fleet_churn(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
+    from ..fleet import run_churn
+
+    return run_churn(dict(params), seed)
+
+
+@experiment(
+    "fleet.interference",
+    "Tenant interference by placement policy: fixed co-resident jobs "
+    "placed pack/spread/interleave, per-job slowdown vs running alone, "
+    "plus the frontend class mix mid checkpoint storm",
+    defaults={
+        "arch": "hpn", "segments": 4, "hosts_per_segment": 8,
+        "aggs_per_plane": 4, "gpu_sizes": [32, 32, 64, 64],
+        "policies": ["pack", "spread", "interleave"],
+        "frontend": True, "edge_mb": 64.0,
+    },
+)
+def fleet_interference(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
+    from ..fleet import run_interference
+
+    return run_interference(dict(params), seed)
+
+
+# ----------------------------------------------------------------------
+# fleet perf benchmark (churn at pod scale, wall-clock measured)
+# ----------------------------------------------------------------------
+@experiment(
+    "bench.fleet",
+    "Fleet perf: >=200 arrivals churning through a multi-segment pod "
+    "with concurrent frontend flow classes, wall-clock measured",
+    defaults={
+        "arch": "hpn", "segments": 6, "hosts_per_segment": 16,
+        "aggs_per_plane": 8, "pods": 1, "arrivals": 240,
+        "policy": "pack", "snapshots": 6, "frontend": True,
+        "mean_interarrival_s": 120.0, "mean_duration_s": 3600.0,
+        "edge_mb": 64.0,
+    },
+)
+def bench_fleet(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
+    from ..fleet import run_fleet_bench
+
+    return run_fleet_bench(dict(params), seed)

@@ -1,0 +1,239 @@
+"""Pluggable GPU placement policies for the fleet simulator.
+
+Three built-in policies reproduce the placement regimes the paper
+contrasts (section 5 / Figure 15):
+
+* ``pack`` -- segment packing: fill segments contiguously, the HPN
+  best case (96.3% of jobs land inside one 1K-GPU segment);
+* ``spread`` -- rail-aware spread: take an even share of hosts from
+  every free segment, trading locality for balanced residual capacity
+  (the DCN+-style fragmented regime);
+* ``interleave`` -- worst-case ablation: spread *and* round-robin the
+  host order across segments, destroying ring locality entirely.
+
+Every successful placement yields a :class:`PlacementDecision` -- the
+hosts, segments spanned vs. the contiguous ideal, a fragmentation
+score, and section-7 cross-pod accounting when pipeline stages had to
+split across pods.
+
+Extension point: subclass :class:`PlacementPolicy`, implement
+``place``, and register with :func:`register_policy` -- the fleet
+experiments and CLI accept any registered name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from ..core.errors import PlacementError
+from ..training.scheduler import Scheduler
+from .arrivals import JobArrival
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The record of where one job landed and how fragmented it is."""
+
+    job_id: int
+    policy: str
+    hosts: Tuple[str, ...]
+    #: distinct (pod, segment) blocks the job occupies
+    segments_spanned: int
+    #: segments a contiguous placement would have needed
+    ideal_segments: int
+    #: pipeline stages per pod when placed cross-pod (0 = single-pod)
+    cross_pod_stages: int = 0
+    #: pod boundaries the pipeline crosses (len(pods) - 1, section 7)
+    cross_pod_boundaries: int = 0
+
+    @property
+    def fragmentation(self) -> float:
+        """Segments spanned relative to the contiguous ideal (>= 1.0).
+
+        1.0 is a perfectly packed job; the paper's Figure-15 pathology
+        (2300 GPUs over 19 segments where 18 would fit) scores ~1.06.
+        """
+        return self.segments_spanned / max(1, self.ideal_segments)
+
+
+class PlacementPolicy:
+    """Base policy: maps a job onto scheduler allocations.
+
+    The section-7 rule is enforced here, not in each subclass: a job
+    is first placed inside a single pod (the pod with the most free
+    hosts that fits it); only when no pod can hold the job *and* the
+    job's pipeline depth divides across pods does the cross-pod path
+    run. Subclasses override :meth:`_place_in_pod` only.
+    """
+
+    name = "base"
+
+    def place(self, scheduler: Scheduler, job: JobArrival) -> PlacementDecision:
+        pod = self._pod_for(scheduler, job)
+        if pod is None:
+            cross = self._place_cross_pod(scheduler, job)
+            if cross is None:
+                raise PlacementError(
+                    f"no pod has {job.hosts} free hosts and job "
+                    f"{job.job_id} is not cross-pod eligible (pp={job.pp})"
+                )
+            return cross
+        hosts = self._place_in_pod(scheduler, job, pod)
+        return self._decide(scheduler, job, tuple(hosts))
+
+    def _place_in_pod(
+        self, scheduler: Scheduler, job: JobArrival, pod: int
+    ) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _pod_for(
+        self, scheduler: Scheduler, job: JobArrival
+    ) -> Optional[int]:
+        """Pod with the most free hosts that still fits the job."""
+        by_pod: Dict[int, int] = {}
+        for (pod, _seg), hosts in scheduler.free_hosts_by_segment().items():
+            by_pod[pod] = by_pod.get(pod, 0) + len(hosts)
+        best = None
+        for pod in sorted(by_pod):
+            if by_pod[pod] < job.hosts:
+                continue
+            if best is None or by_pod[pod] > by_pod[best]:
+                best = pod
+        return best
+
+    def _free_segments_in_pod(
+        self, scheduler: Scheduler, pod: int
+    ) -> int:
+        return sum(
+            1 for (p, _seg) in scheduler.free_hosts_by_segment() if p == pod
+        )
+
+    def _ideal_segments(self, scheduler: Scheduler, hosts: int) -> int:
+        sizes = [len(v) for v in _segment_capacity(scheduler).values()]
+        largest = max(sizes) if sizes else 1
+        return max(1, -(-hosts // largest))
+
+    def _decide(
+        self,
+        scheduler: Scheduler,
+        job: JobArrival,
+        hosts: Tuple[str, ...],
+        cross_pod_stages: int = 0,
+        cross_pod_boundaries: int = 0,
+    ) -> PlacementDecision:
+        return PlacementDecision(
+            job_id=job.job_id,
+            policy=self.name,
+            hosts=hosts,
+            segments_spanned=scheduler.segments_spanned(hosts),
+            ideal_segments=self._ideal_segments(scheduler, job.hosts),
+            cross_pod_stages=cross_pod_stages,
+            cross_pod_boundaries=cross_pod_boundaries,
+        )
+
+    def _place_cross_pod(
+        self, scheduler: Scheduler, job: JobArrival
+    ) -> Optional[PlacementDecision]:
+        """Section-7 fallback: split whole PP stages across pods."""
+        pods = sorted({h.pod for h in scheduler.topo.active_hosts()})
+        if len(pods) < 2 or job.pp < 2 or job.pp % len(pods):
+            return None
+        if job.hosts % job.pp:
+            return None
+        try:
+            hosts = scheduler.place_cross_pod(
+                hosts_per_stage=job.hosts // job.pp, pp=job.pp, pods=pods
+            )
+        except PlacementError:
+            return None
+        return self._decide(
+            scheduler,
+            job,
+            tuple(hosts),
+            cross_pod_stages=job.pp // len(pods),
+            cross_pod_boundaries=len(pods) - 1,
+        )
+
+
+def _segment_capacity(scheduler: Scheduler):
+    """All hosts per segment (occupied or not): the structural pools."""
+    from ..training.scheduler import _segment_blocks
+
+    return _segment_blocks(scheduler.topo)
+
+
+class SegmentPackingPolicy(PlacementPolicy):
+    """Fill segments contiguously -- the HPN design intent."""
+
+    name = "pack"
+
+    def _place_in_pod(
+        self, scheduler: Scheduler, job: JobArrival, pod: int
+    ) -> Tuple[str, ...]:
+        return tuple(scheduler.place(job.hosts, pods=(pod,)))
+
+
+class RailAwareSpreadPolicy(PlacementPolicy):
+    """Take an even share from every free segment (balanced residuals)."""
+
+    name = "spread"
+
+    interleave = False
+
+    def _place_in_pod(
+        self, scheduler: Scheduler, job: JobArrival, pod: int
+    ) -> Tuple[str, ...]:
+        segments = self._free_segments_in_pod(scheduler, pod)
+        per_segment = max(1, -(-job.hosts // max(1, segments)))
+        try:
+            hosts = scheduler.place(
+                job.hosts,
+                max_hosts_per_segment=per_segment,
+                interleave=self.interleave,
+                pods=(pod,),
+            )
+        except PlacementError:
+            # uneven pools can starve the even share; fall back to pack
+            hosts = scheduler.place(
+                job.hosts, interleave=self.interleave, pods=(pod,)
+            )
+        return tuple(hosts)
+
+
+class InterleavedWorstCasePolicy(RailAwareSpreadPolicy):
+    """Spread plus round-robin host order: the locality ablation."""
+
+    name = "interleave"
+
+    interleave = True
+
+
+_POLICIES: Dict[str, Type[PlacementPolicy]] = {}
+
+
+def register_policy(cls: Type[PlacementPolicy]) -> Type[PlacementPolicy]:
+    """Register a policy class under its ``name`` (extension point)."""
+    _POLICIES[cls.name] = cls
+    return cls
+
+
+for _cls in (SegmentPackingPolicy, RailAwareSpreadPolicy,
+             InterleavedWorstCasePolicy):
+    register_policy(_cls)
+
+
+def get_policy(name: str) -> PlacementPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise PlacementError(
+            f"unknown placement policy {name!r} (registered: {known})"
+        ) from None
+
+
+def policy_names() -> Tuple[str, ...]:
+    return tuple(sorted(_POLICIES))

@@ -457,12 +457,18 @@ ALLOWED_IMPORTS: Dict[str, Set[str]] = {
     "cluster": {"core", "obs", "topos", "access", "routing", "fabric",
                 "collective", "training", "telemetry", "reliability"},
     "engine": {"core", "obs", "cluster", "collective", "fabric",
-               "reliability", "routing", "topos", "training", "analysis"},
+               "reliability", "routing", "topos", "training", "analysis",
+               "fleet"},
+    # fleet composes the substrates into multi-job cluster scenarios;
+    # engine is allowed for derive_seed only (spec module, no cycle)
+    "fleet": {"core", "obs", "topos", "routing", "fabric", "collective",
+              "training", "workloads", "cluster", "engine"},
     "staticcheck": {"core", "obs", "topos", "telemetry", "routing",
                     "access"},
     "viz": {"core", "obs", "topos", "routing", "fabric"},
     "cli": {"core", "obs", "topos", "routing", "cluster", "training",
-            "reliability", "engine", "staticcheck", "viz", "collective"},
+            "reliability", "engine", "staticcheck", "viz", "collective",
+            "fleet"},
     # top-level modules: the package root re-exports the user-facing
     # surface; __main__ just dispatches into the CLI
     "repro": {"core", "topos", "cluster"},

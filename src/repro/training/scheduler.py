@@ -34,11 +34,37 @@ def _segment_blocks(topo: Topology) -> "OrderedDict[Tuple[int, int], List[str]]"
 
 @dataclass
 class Scheduler:
-    """Allocates hosts for jobs, tracking occupancy."""
+    """Allocates hosts for jobs, tracking occupancy and ownership.
+
+    Every successful :meth:`place`/:meth:`place_cross_pod` call records
+    an *allocation*: the set of hosts it handed out, under a fresh
+    allocation id. :meth:`release` only accepts hosts this scheduler
+    actually placed -- releasing a host twice, or a host some other
+    tenant marked ``occupied``, is a :class:`PlacementError` (the
+    silent-acceptance behaviour it replaces corrupted fleet occupancy
+    accounting).
+    """
 
     topo: Topology
-    #: host names already taken by other tenants
+    #: host names already taken by other tenants (foreign: never
+    #: releasable through this scheduler)
     occupied: set = field(default_factory=set)
+    #: host -> allocation id, for hosts placed by *this* scheduler
+    owners: Dict[str, int] = field(default_factory=dict)
+    _next_allocation: int = field(default=0, repr=False)
+
+    def _claim(self, hosts: Sequence[str]) -> int:
+        """Record one allocation over ``hosts``; returns its id."""
+        alloc = self._next_allocation
+        self._next_allocation += 1
+        for h in hosts:
+            self.owners[h] = alloc
+        self.occupied.update(hosts)
+        return alloc
+
+    def allocation_of(self, host: str) -> Optional[int]:
+        """Allocation id that owns ``host``, or None if not placed here."""
+        return self.owners.get(host)
 
     def free_hosts_by_segment(self) -> Dict[Tuple[int, int], List[str]]:
         out = {}
@@ -54,6 +80,7 @@ class Scheduler:
         num_hosts: int,
         max_hosts_per_segment: Optional[int] = None,
         interleave: bool = False,
+        pods: Optional[Sequence[int]] = None,
     ) -> List[str]:
         """Allocate ``num_hosts`` hosts.
 
@@ -61,12 +88,17 @@ class Scheduler:
         may take at most that many hosts from each segment, spreading
         the job wider than necessary. ``interleave=True`` additionally
         round-robins host order across segments (worst-case ring
-        locality, for ablations).
+        locality, for ablations). ``pods`` restricts placement to the
+        given pod ids -- the section-7 rule that only pipeline stages
+        may cross pods is enforced by callers placing one pod at a
+        time (see :meth:`place_cross_pod` for the multi-pod path).
         """
         free = self.free_hosts_by_segment()
         chosen: List[str] = []
         per_seg: List[List[str]] = []
-        for _seg, hosts in free.items():
+        for (pod, _seg), hosts in free.items():
+            if pods is not None and pod not in pods:
+                continue
             take = hosts if max_hosts_per_segment is None else hosts[:max_hosts_per_segment]
             need = num_hosts - sum(len(s) for s in per_seg)
             if need <= 0:
@@ -89,10 +121,28 @@ class Scheduler:
             for seg in per_seg:
                 chosen.extend(seg)
         chosen = chosen[:num_hosts]
-        self.occupied.update(chosen)
+        self._claim(chosen)
         return chosen
 
     def release(self, hosts: Sequence[str]) -> None:
+        """Return hosts placed by this scheduler to the free pool.
+
+        Raises :class:`PlacementError` if any host was never placed by
+        this scheduler (foreign host, or already released): silently
+        accepting such hosts would let one tenant free another's
+        capacity and double-count the freed hosts.
+        """
+        hosts = list(dict.fromkeys(hosts))
+        unknown = sorted(h for h in hosts if h not in self.owners)
+        if unknown:
+            shown = ", ".join(unknown[:5])
+            raise PlacementError(
+                f"release of {len(unknown)} host(s) this scheduler never "
+                f"placed (double release or foreign host): {shown}"
+                + ("..." if len(unknown) > 5 else "")
+            )
+        for h in hosts:
+            del self.owners[h]
         self.occupied.difference_update(hosts)
 
     # ------------------------------------------------------------------
@@ -121,7 +171,7 @@ class Scheduler:
             if len(pool) < need:
                 raise PlacementError(f"pod {pod} lacks {need} free hosts")
             out.extend(pool[:need])
-        self.occupied.update(out)
+        self._claim(out)
         return out
 
     def segments_spanned(self, hosts: Sequence[str]) -> int:

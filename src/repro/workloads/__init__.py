@@ -3,10 +3,16 @@
 from .cloud import (
     CloudTrafficSample,
     CloudTrafficSpec,
+    diurnal_factor,
     generate_cloud_day,
     utilization_fraction,
 )
-from .jobs import DEFAULT_MIXTURE, JobSizeModel, cdf_points
+from .jobs import (
+    DEFAULT_MIXTURE,
+    DEFAULT_SAMPLE_SEED,
+    JobSizeModel,
+    cdf_points,
+)
 from .llm import (
     BurstSpec,
     burst_statistics,
@@ -20,11 +26,13 @@ __all__ = [
     "CloudTrafficSample",
     "CloudTrafficSpec",
     "DEFAULT_MIXTURE",
+    "DEFAULT_SAMPLE_SEED",
     "JobSizeModel",
     "burst_statistics",
     "cdf_points",
     "connection_count_cdf",
     "connections_per_host",
+    "diurnal_factor",
     "generate_cloud_day",
     "generate_nic_series",
     "utilization_fraction",

@@ -38,6 +38,18 @@ class CloudTrafficSpec:
     nic_capacity_gbps: float = 400.0
 
 
+def diurnal_factor(hour: float, amplitude: float = 0.4,
+                   peak_hour: float = 14.0) -> float:
+    """Load multiplier at ``hour`` of day (cosine diurnal shape).
+
+    1.0 +/- ``amplitude``, peaking at ``peak_hour``. Shared by the
+    cloud day series below and the fleet frontend's inference-serving
+    flow class (millions-of-users load follows the same daily curve).
+    """
+    phase = math.cos((hour % 24.0 - peak_hour) / 24.0 * 2 * math.pi)
+    return 1.0 + amplitude * phase
+
+
 def generate_cloud_day(
     spec: CloudTrafficSpec = CloudTrafficSpec(),
     samples_per_hour: int = 12,
@@ -48,8 +60,7 @@ def generate_cloud_day(
     out = []
     for i in range(24 * samples_per_hour):
         hour = i / samples_per_hour
-        phase = math.cos((hour - spec.peak_hour) / 24.0 * 2 * math.pi)
-        factor = 1.0 + spec.diurnal_amplitude * phase
+        factor = diurnal_factor(hour, spec.diurnal_amplitude, spec.peak_hour)
         jitter = 1.0 + rng.gauss(0.0, spec.noise)
         conns = int(spec.mean_connections * factor * (1 + rng.gauss(0, spec.noise)))
         out.append(

@@ -14,6 +14,10 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+#: legacy default for exploratory sampling; engine-reachable code must
+#: derive and pass an explicit seed instead (see JobSizeModel.sample)
+DEFAULT_SAMPLE_SEED = 11
+
 #: (gpus, weight) mixture calibrated to the paper's anchors
 DEFAULT_MIXTURE: Tuple[Tuple[int, float], ...] = (
     (8, 0.18),
@@ -40,8 +44,21 @@ class JobSizeModel:
         if abs(total - 1.0) > 1e-6:
             raise ValueError(f"mixture weights sum to {total}, expected 1.0")
 
-    def sample(self, n: int, seed: int = 11) -> List[int]:
-        rng = random.Random(seed)
+    def sample(self, n: int, seed: int = DEFAULT_SAMPLE_SEED) -> List[int]:
+        """Draw ``n`` job sizes from a generator seeded with ``seed``.
+
+        The default seed exists for exploratory/figure use only. Code
+        reachable from engine experiments (the ``repro.fleet`` layer in
+        particular) must pass a seed derived via
+        ``engine.derive_seed`` -- relying on the default would make
+        every cached experiment share one frozen draw. A test
+        (``tests/test_fleet_arrivals_policies.py``) enforces that no
+        fleet call site omits the seed.
+        """
+        return self.sample_rng(n, random.Random(seed))
+
+    def sample_rng(self, n: int, rng: random.Random) -> List[int]:
+        """Draw ``n`` job sizes from an explicitly injected generator."""
         sizes = [s for s, _w in self.mixture]
         cum = []
         acc = 0.0

@@ -1,0 +1,155 @@
+"""Fleet arrivals (seeded traces) and placement policies."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.errors import PlacementError
+from repro.fleet import (
+    ArrivalSpec,
+    JobArrival,
+    generate_arrivals,
+    get_policy,
+    policy_names,
+)
+from repro.topos.spec import HpnSpec
+from repro.training.scheduler import Scheduler
+
+SMALL = HpnSpec(segments_per_pod=2, hosts_per_segment=8,
+                backup_hosts_per_segment=0, aggs_per_plane=4)
+TWO_POD = HpnSpec(pods=2, segments_per_pod=2, hosts_per_segment=4,
+                  backup_hosts_per_segment=0, aggs_per_plane=4,
+                  cores_per_plane=4)
+
+
+class TestArrivals:
+    def test_trace_is_deterministic_in_seed(self):
+        spec = ArrivalSpec()
+        assert generate_arrivals(spec, 50, 7) == generate_arrivals(spec, 50, 7)
+        assert generate_arrivals(spec, 50, 7) != generate_arrivals(spec, 50, 8)
+
+    def test_times_monotone_and_sizes_consistent(self):
+        arrivals = generate_arrivals(ArrivalSpec(), 200, 3)
+        assert len(arrivals) == 200
+        last = 0.0
+        for a in arrivals:
+            assert a.arrive_s >= last
+            last = a.arrive_s
+            assert a.duration_s > 0
+            # hosts is the ceiling of gpus over gpus_per_host
+            assert a.hosts == max(1, -(-a.gpus // 8))
+            assert a.pp in (1, 2, 4)
+
+    def test_size_distribution_matches_figure6_tail(self):
+        arrivals = generate_arrivals(ArrivalSpec(), 1000, 11)
+        small = sum(1 for a in arrivals if a.gpus <= 1024)
+        # Figure 6: 96.3% of jobs take <= 1K GPUs
+        assert small / len(arrivals) > 0.90
+        assert max(a.gpus for a in arrivals) <= 3072
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(mean_interarrival_s=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(pp_fraction=1.5)
+        with pytest.raises(ValueError):
+            JobArrival(job_id=0, arrive_s=0.0, gpus=8, hosts=0,
+                       duration_s=10.0)
+
+    def test_no_sample_call_relies_on_default_seed(self):
+        """No fleet/engine code may lean on JobSizeModel's default seed.
+
+        ``JobSizeModel.sample`` defaults ``seed=11`` for notebook
+        ergonomics; from engine-reachable code every call must pass the
+        seed (or use ``sample_rng``). AST-walk the fleet and engine
+        sources and reject bare ``.sample(n)`` calls.
+        """
+        src_root = Path(__file__).resolve().parents[1] / "src" / "repro"
+        offenders = []
+        for pkg in ("fleet", "engine"):
+            for path in sorted((src_root / pkg).rglob("*.py")):
+                tree = ast.parse(path.read_text(), filename=str(path))
+                for node in ast.walk(tree):
+                    if not (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr == "sample"):
+                        continue
+                    has_seed = (len(node.args) >= 2 or any(
+                        k.arg == "seed" for k in node.keywords
+                    ))
+                    if not has_seed:
+                        offenders.append(f"{path.name}:{node.lineno}")
+        assert not offenders, (
+            f".sample() without an explicit seed in engine-reachable "
+            f"code: {offenders}"
+        )
+
+
+class TestPolicies:
+    def _job(self, hosts, pp=1):
+        return JobArrival(job_id=0, arrive_s=0.0, gpus=hosts * 8,
+                          hosts=hosts, duration_s=60.0, pp=pp)
+
+    def test_registry(self):
+        assert policy_names() == ("interleave", "pack", "spread")
+        with pytest.raises(PlacementError, match="unknown placement"):
+            get_policy("nope")
+
+    def test_pack_keeps_small_job_in_one_segment(self):
+        sched = Scheduler(Cluster.hpn(SMALL).topo)
+        d = get_policy("pack").place(sched, self._job(4))
+        assert d.segments_spanned == 1
+        assert d.fragmentation == 1.0
+        assert len(d.hosts) == 4
+
+    def test_spread_balances_across_segments(self):
+        sched = Scheduler(Cluster.hpn(SMALL).topo)
+        d = get_policy("spread").place(sched, self._job(4))
+        assert d.segments_spanned == 2
+        assert d.fragmentation == 2.0  # one segment would have fit
+
+    def test_interleave_round_robins_host_order(self):
+        sched = Scheduler(Cluster.hpn(SMALL).topo)
+        d = get_policy("interleave").place(sched, self._job(4))
+        segments = [sched.topo.hosts[h].segment for h in d.hosts]
+        # consecutive ring neighbours land in alternating segments
+        assert segments[0] != segments[1]
+        assert d.segments_spanned == 2
+
+    def test_spread_falls_back_when_pools_uneven(self):
+        sched = Scheduler(Cluster.hpn(SMALL).topo)
+        # occupy 6 of segment 0's 8 hosts: pools are now 2 + 8
+        sched.place(6)
+        # spread's even share (4+4) cannot come out of {2, 8}; the
+        # pack fallback still places all 8
+        d = get_policy("spread").place(sched, self._job(8))
+        assert len(d.hosts) == 8
+        assert d.segments_spanned == 2
+
+    def test_pack_falls_back_to_cross_pod(self):
+        cluster = Cluster.hpn(TWO_POD)
+        sched = Scheduler(cluster.topo)
+        # 16 hosts total, 8 per pod: 10 hosts only fits cross-pod
+        d = get_policy("pack").place(sched, self._job(10, pp=2))
+        assert d.cross_pod_boundaries == 1
+        assert d.cross_pod_stages == 1
+        pods = {cluster.topo.hosts[h].pod for h in d.hosts}
+        assert pods == {0, 1}
+
+    def test_cross_pod_needs_divisible_pp(self):
+        sched = Scheduler(Cluster.hpn(TWO_POD).topo)
+        # pp=1 job bigger than any pod: no cross-pod eligibility
+        with pytest.raises(PlacementError):
+            get_policy("pack").place(sched, self._job(10, pp=1))
+
+    def test_decision_fragmentation_figure15_shape(self):
+        from repro.fleet import PlacementDecision
+
+        d = PlacementDecision(job_id=1, policy="pack",
+                              hosts=tuple(f"h{i}" for i in range(19)),
+                              segments_spanned=19, ideal_segments=18)
+        assert 1.05 < d.fragmentation < 1.06

@@ -1,0 +1,161 @@
+"""FleetSimulator: churn loop, FIFO queueing, snapshots, observability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cluster import Cluster
+from repro.fleet import (
+    ArrivalSpec,
+    FleetSimulator,
+    FrontendTrafficSpec,
+    JobArrival,
+    build_classes,
+    generate_arrivals,
+    tier_peak_utilization,
+)
+from repro.topos.spec import HpnSpec
+
+SMALL = HpnSpec(segments_per_pod=2, hosts_per_segment=8,
+                backup_hosts_per_segment=0, aggs_per_plane=4)
+
+
+def small_cluster():
+    return Cluster.hpn(SMALL)
+
+
+def jobs(*specs):
+    """(arrive_s, hosts, duration_s) triples -> JobArrival list."""
+    return [
+        JobArrival(job_id=i, arrive_s=t, gpus=h * 8, hosts=h, duration_s=d)
+        for i, (t, h, d) in enumerate(specs)
+    ]
+
+
+class TestChurnLoop:
+    def test_every_admitted_job_completes_and_frees_capacity(self):
+        arrivals = generate_arrivals(ArrivalSpec(), 40, seed=5)
+        sim = FleetSimulator(small_cluster(), arrivals, seed=5)
+        result = sim.run()
+        states = {j.state for j in result.jobs}
+        assert states <= {"done", "rejected"}
+        assert sim.scheduler.occupied == set()
+        assert sim.scheduler.owners == {}
+        for j in result.admitted:
+            assert j.departed_at == pytest.approx(
+                j.placed_at + j.arrival.duration_s
+            )
+
+    def test_oversized_jobs_rejected_not_deadlocked(self):
+        # 17 hosts > 16-host cluster: reject; the rest still run
+        sim = FleetSimulator(small_cluster(), jobs(
+            (0.0, 17, 50.0), (1.0, 4, 50.0)
+        ))
+        result = sim.run()
+        assert result.jobs[0].state == "rejected"
+        assert result.jobs[1].state == "done"
+
+    def test_fifo_head_blocks_smaller_later_jobs(self):
+        # job1 (12 hosts) cannot fit behind job0 (8 hosts); job2
+        # (2 hosts) would fit but strict FIFO makes it wait for job1
+        sim = FleetSimulator(small_cluster(), jobs(
+            (0.0, 8, 100.0), (1.0, 12, 10.0), (2.0, 2, 10.0)
+        ))
+        result = sim.run()
+        j0, j1, j2 = result.jobs
+        assert j1.placed_at == pytest.approx(100.0)  # after job0 departs
+        assert j2.placed_at >= j1.placed_at
+
+    def test_queue_wait_measured_from_arrival(self):
+        sim = FleetSimulator(small_cluster(), jobs(
+            (0.0, 16, 60.0), (5.0, 4, 10.0)
+        ))
+        result = sim.run()
+        assert result.jobs[1].queue_wait_s == pytest.approx(55.0)
+
+    def test_makespan_and_busy_accounting(self):
+        sim = FleetSimulator(small_cluster(), jobs((0.0, 2, 30.0)))
+        result = sim.run()
+        assert result.makespan_s == pytest.approx(30.0)
+        assert result.busy_gpu_seconds == pytest.approx(2 * 8 * 30.0)
+        assert result.total_gpus == 16 * 8
+
+
+class TestSnapshots:
+    def test_slowdown_never_below_one(self):
+        arrivals = generate_arrivals(ArrivalSpec(), 20, seed=9)
+        sim = FleetSimulator(small_cluster(), arrivals, policy="interleave",
+                             seed=9)
+        result = sim.run(snapshots=3)
+        assert len(result.snapshots) == 3
+        for snap in result.snapshots:
+            backend = snap["backend"]
+            if not backend:
+                continue
+            assert backend["mean_slowdown"] >= 1.0 - 1e-9
+            for entry in backend["per_job"]:
+                assert entry["slowdown"] >= 1.0 - 1e-9
+            for util in backend["tier_util"].values():
+                assert 0.0 <= util <= 1.0 + 1e-9
+
+    def test_single_host_jobs_make_no_backend_flows(self):
+        sim = FleetSimulator(small_cluster(), jobs((0.0, 1, 50.0)))
+        sim.run()
+        sim._running = {0: sim.jobs[0]}
+        sim.jobs[0].state = "running"
+        assert sim._job_flows(sim.jobs[0], 49152) == []
+
+    def test_frontend_storm_classes_follow_running_jobs(self):
+        spec = FrontendTrafficSpec(synchronized_checkpoints=True)
+        running = [(0, 256, 0.0), (1, 512, 0.0)]
+        # inside the write window: storm per job + inference + storage
+        classes = build_classes(spec, running, now_s=10.0)
+        assert [c.kind for c in classes].count("checkpoint") == 2
+        # past the write window: storms gone
+        classes = build_classes(
+            spec, running, now_s=spec.checkpoint.write_seconds + 1.0
+        )
+        assert [c.kind for c in classes].count("checkpoint") == 0
+
+    def test_tier_peak_utilization_labels(self):
+        topo = small_cluster().topo
+        # load one host link and one tor->agg link to half capacity
+        host_dl = None
+        agg_dl = None
+        for link_id in sorted(topo.links):
+            link = topo.links[link_id]
+            in_switches = (link.a.node in topo.switches,
+                           link.b.node in topo.switches)
+            if host_dl is None and not all(in_switches):
+                host_dl = link.link_id * 2
+            if agg_dl is None and all(in_switches):
+                agg_dl = link.link_id * 2
+            if host_dl is not None and agg_dl is not None:
+                break
+        loads = {host_dl: topo.links[host_dl // 2].gbps / 2,
+                 agg_dl: topo.links[agg_dl // 2].gbps / 4}
+        util = tier_peak_utilization(topo, loads)
+        assert util["access"] == pytest.approx(0.5)
+        assert util["agg"] == pytest.approx(0.25)
+
+
+class TestObservability:
+    def test_metrics_and_job_tracks_emitted(self):
+        arrivals = jobs((0.0, 4, 20.0), (1.0, 16, 10.0), (2.0, 2, 5.0))
+        with obs.recording() as rec:
+            sim = FleetSimulator(small_cluster(), arrivals, recorder=rec)
+            sim.run(snapshots=1)
+        assert rec.metrics.counter("fleet.jobs_admitted").value == 3
+        assert rec.metrics.counter("fleet.jobs_completed").value == 3
+        assert rec.metrics.gauge("fleet.jobs_running").value == 0
+        assert rec.metrics.histogram("fleet.queue_wait").count == 3
+        doc = obs.chrome_trace(rec)
+        obs.validate_chrome_trace(doc)
+        threads = {
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        assert {"job0", "job1", "job2", "fleet"} <= threads
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert {"job.queued", "job.running"} <= {e["name"] for e in spans}

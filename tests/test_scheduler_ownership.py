@@ -1,0 +1,110 @@
+"""Scheduler allocation ownership and place() edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.errors import PlacementError
+from repro.topos.spec import HpnSpec
+from repro.training.scheduler import Scheduler
+
+SMALL = HpnSpec(segments_per_pod=2, hosts_per_segment=8,
+                backup_hosts_per_segment=0, aggs_per_plane=4)
+TWO_POD = HpnSpec(pods=2, segments_per_pod=2, hosts_per_segment=4,
+                  backup_hosts_per_segment=0, aggs_per_plane=4,
+                  cores_per_plane=4)
+
+
+@pytest.fixture
+def sched():
+    return Scheduler(Cluster.hpn(SMALL).topo)
+
+
+class TestOwnership:
+    def test_release_returns_hosts_to_pool(self, sched):
+        hosts = sched.place(4)
+        sched.release(hosts)
+        assert sched.occupied == set()
+        assert sched.owners == {}
+        assert len(sched.place(16)) == 16  # whole cluster free again
+
+    def test_release_foreign_host_raises(self, sched):
+        sched.place(4)
+        with pytest.raises(PlacementError, match="never\\s+placed"):
+            sched.release(["not-a-placed-host"])
+
+    def test_double_release_raises(self, sched):
+        hosts = sched.place(4)
+        sched.release(hosts)
+        with pytest.raises(PlacementError, match="double release"):
+            sched.release(hosts)
+
+    def test_release_rejects_mixed_batch_atomically(self, sched):
+        mine = sched.place(2)
+        with pytest.raises(PlacementError):
+            sched.release(list(mine) + ["intruder"])
+        # the failed release must not have freed the valid ones
+        assert set(mine) <= sched.occupied
+
+    def test_externally_occupied_host_is_not_releasable(self, sched):
+        # another tenant marks a host occupied out-of-band: the
+        # scheduler respects the reservation but never owns it
+        victim = sched.place(1)[0]
+        sched.release([victim])
+        sched.occupied.add(victim)
+        assert sched.allocation_of(victim) is None
+        with pytest.raises(PlacementError, match="foreign host"):
+            sched.release([victim])
+
+    def test_allocations_get_distinct_ids(self, sched):
+        a = sched.place(2)
+        b = sched.place(2)
+        ids_a = {sched.allocation_of(h) for h in a}
+        ids_b = {sched.allocation_of(h) for h in b}
+        assert len(ids_a) == 1 and len(ids_b) == 1
+        assert ids_a != ids_b
+
+
+class TestPlaceEdgeCases:
+    def test_interleave_with_uneven_segment_pools(self, sched):
+        # pools 2 + 8: interleave must round-robin until the short
+        # pool drains, then continue from the long one
+        sched.place(6)
+        hosts = sched.place(6, interleave=True)
+        assert len(hosts) == len(set(hosts)) == 6
+        segs = [sched.topo.hosts[h].segment for h in hosts]
+        assert segs[0] != segs[1]  # starts alternating
+        assert sorted(segs)[-4:] == [1, 1, 1, 1]  # long pool finishes
+
+    def test_max_hosts_per_segment_exactly_at_capacity(self, sched):
+        hosts = sched.place(16, max_hosts_per_segment=8)
+        assert len(hosts) == 16
+        with pytest.raises(PlacementError):
+            Scheduler(sched.topo).place(16, max_hosts_per_segment=7)
+
+    def test_pods_filter_restricts_placement(self):
+        sched = Scheduler(Cluster.hpn(TWO_POD).topo)
+        hosts = sched.place(8, pods=(1,))
+        assert {sched.topo.hosts[h].pod for h in hosts} == {1}
+        with pytest.raises(PlacementError):
+            sched.place(1, pods=(1,))  # pod 1 now full
+
+    def test_place_cross_pod_pp_not_divisible(self):
+        sched = Scheduler(Cluster.hpn(TWO_POD).topo)
+        with pytest.raises(PlacementError, match="divide"):
+            sched.place_cross_pod(hosts_per_stage=2, pp=3, pods=[0, 1])
+
+    def test_place_cross_pod_balances_stages(self):
+        sched = Scheduler(Cluster.hpn(TWO_POD).topo)
+        hosts = sched.place_cross_pod(hosts_per_stage=3, pp=2, pods=[0, 1])
+        by_pod = {}
+        for h in hosts:
+            by_pod.setdefault(sched.topo.hosts[h].pod, []).append(h)
+        assert {p: len(v) for p, v in by_pod.items()} == {0: 3, 1: 3}
+
+    def test_place_cross_pod_pod_short_of_hosts(self):
+        sched = Scheduler(Cluster.hpn(TWO_POD).topo)
+        sched.place(6, pods=(1,))  # leave pod 1 with 2 free hosts
+        with pytest.raises(PlacementError, match="pod 1 lacks"):
+            sched.place_cross_pod(hosts_per_stage=4, pp=2, pods=[0, 1])
