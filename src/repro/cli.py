@@ -501,8 +501,10 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
     from .engine import Runner, get_experiment
-    from .obs import summary_table
+    from .obs import summary_table, validate_chrome_trace
 
     fixed = _parse_assignments(args.set, split_values=False)
     try:
@@ -519,6 +521,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
     result = runner.run([spec])
     manifest = result.manifest
+    trace_path = manifest.artifacts.get("trace")
+    if trace_path:
+        with open(trace_path) as fh:
+            problems = validate_chrome_trace(json.load(fh))
+        if problems:
+            print(f"error: invalid Chrome trace written to {trace_path}:",
+                  file=sys.stderr)
+            for problem in problems[:10]:
+                print(f"  - {problem}", file=sys.stderr)
+            if len(problems) > 10:
+                print(f"  ... and {len(problems) - 10} more",
+                      file=sys.stderr)
+            return 1
     if args.format == "json":
         print(manifest.to_json())
         return 0
@@ -533,6 +548,47 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print("open the trace at https://ui.perfetto.dev "
           "(or chrome://tracing)")
     return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    import json
+
+    if args.replay is not None:
+        from .obs.health import replay_trace_dir
+
+        try:
+            report = replay_trace_dir(args.replay)
+        except (FileNotFoundError, NotADirectoryError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from .engine import Runner, get_experiment
+
+        fixed = _parse_assignments(args.set, split_values=False)
+        try:
+            spec = get_experiment(args.kind).spec(seed=args.seed, **fixed)
+        except Exception as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # no cache: a hit would skip execution and monitor nothing
+        runner = Runner(
+            cache=None,
+            backend="serial",
+            manifest_dir=args.out_dir,
+            trace_dir=args.out_dir,
+            health=True,
+        )
+        result = runner.run([spec])
+        report = result.health_report
+        assert report is not None
+        if args.format == "text":
+            for name in sorted(result.manifest.artifacts):
+                print(f"{name:>10}: {result.manifest.artifacts[name]}")
+    if args.format == "json":
+        print(json.dumps(report.to_jsonable(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text(max_incidents=args.max_incidents))
+    return report.exit_code
 
 
 def cmd_exp_compare(args: argparse.Namespace) -> int:
@@ -745,6 +801,27 @@ def make_parser() -> argparse.ArgumentParser:
                    help="metric series rows in the summary table")
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "health",
+        help="run an experiment under the health engine (or replay a "
+             "trace dir) and report incidents; exits 3 on ERROR",
+    )
+    p.add_argument("kind", nargs="?", default="health.scenario",
+                   help="experiment name (default: health.scenario)")
+    p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                   help="fix one param (repeatable)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-dir", default=".repro/traces",
+                   help="where trace/health/prometheus artifacts land")
+    p.add_argument("--replay", metavar="DIR", default=None,
+                   help="re-run the detectors over an existing trace "
+                        "dir's metrics-*/events-* artifacts instead of "
+                        "executing anything")
+    p.add_argument("--max-incidents", type=int, default=20,
+                   help="incident lines in the text report")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=cmd_health)
     return parser
 
 

@@ -295,6 +295,23 @@ def fleet_interference(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# health: seeded fault-injection scenario for the health engine
+# ----------------------------------------------------------------------
+@experiment(
+    "health.scenario",
+    "Seeded health drill: hash-polarized inter-segment flows, a "
+    "dual-ToR flap over the failover SLO, and an oversubscribed fleet "
+    "burst -- clean mode yields zero incidents, faulty mode exactly "
+    "the injected ones",
+    defaults={"mode": "faulty"},
+)
+def health_scenario(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
+    from ..obs.health.scenario import run_health_scenario
+
+    return run_health_scenario(dict(params), seed)
+
+
+# ----------------------------------------------------------------------
 # fleet perf benchmark (churn at pod scale, wall-clock measured)
 # ----------------------------------------------------------------------
 @experiment(

@@ -39,11 +39,15 @@ from .. import __version__
 from ..core.errors import EngineError
 from ..core.serialize import to_jsonable
 from ..obs import (
+    HealthEngine,
+    HealthReport,
     Recorder,
     set_recorder,
     write_chrome_trace,
     write_events_jsonl,
+    write_health_report,
     write_metrics_snapshot,
+    write_prometheus,
 )
 from .cache import ResultCache
 from .manifest import ExperimentRecord, RunManifest
@@ -75,6 +79,8 @@ class RunResult:
     manifest_path: Optional[str] = None
     #: the recorder that observed the batch (tracing runs only)
     recorder: Optional[Recorder] = None
+    #: finalized health verdict (``Runner(health=True)`` runs only)
+    health_report: Optional[HealthReport] = None
 
 
 def _execute(kind: str, params: Dict[str, Any], seed: int
@@ -116,6 +122,11 @@ class Runner:
     #: referenced from the manifest). Serial backend only: the recorder
     #: is per-process state that process workers would not share.
     trace_dir: Optional[str] = None
+    #: attach a :class:`repro.obs.HealthEngine` to the batch recorder:
+    #: samplers/detectors run live and the finalized report + Prometheus
+    #: snapshot land next to the trace artifacts. Requires ``trace_dir``
+    #: (which already forces the serial backend).
+    health: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -127,6 +138,11 @@ class Runner:
             raise EngineError(
                 "tracing requires the serial backend: the recorder is "
                 "per-process state that process workers would not share"
+            )
+        if self.health and self.trace_dir is None:
+            raise EngineError(
+                "health monitoring rides on the tracing recorder; pass "
+                "trace_dir= as well"
             )
 
     # ------------------------------------------------------------------
@@ -166,8 +182,13 @@ class Runner:
                 misses.append(i)
 
         recorder: Optional[Recorder] = None
+        health_engine: Optional[HealthEngine] = None
         if self.trace_dir is not None:
             recorder = Recorder()
+            if self.health:
+                # attach before any experiment body builds simulators:
+                # components read rec.health once at construction
+                health_engine = HealthEngine(recorder).attach()
         if misses:
             if recorder is not None:
                 previous = set_recorder(recorder)
@@ -203,15 +224,21 @@ class Runner:
             payloads.append(payload)
 
         manifest.finished_at_s = time.time()
+        health_report: Optional[HealthReport] = None
+        if health_engine is not None:
+            # finalize before exporting so incident spans (track
+            # "health") land in the trace/events artifacts
+            health_report = health_engine.finalize()
         if recorder is not None:
             manifest.artifacts = self._write_artifacts(
-                recorder, manifest.run_id
+                recorder, manifest.run_id, health_report
             )
         path = None
         if self.manifest_dir is not None:
             path = manifest.save(self.manifest_dir)
         return RunResult(payloads=payloads, manifest=manifest,
-                         manifest_path=path, recorder=recorder)
+                         manifest_path=path, recorder=recorder,
+                         health_report=health_report)
 
     # ------------------------------------------------------------------
     def run_grid(
@@ -231,7 +258,8 @@ class Runner:
 
     # ------------------------------------------------------------------
     def _write_artifacts(
-        self, recorder: Recorder, run_id: str
+        self, recorder: Recorder, run_id: str,
+        health_report: Optional[HealthReport] = None,
     ) -> Dict[str, str]:
         """Export the recorder's view of the batch next to the manifest."""
         assert self.trace_dir is not None
@@ -242,7 +270,15 @@ class Runner:
         write_chrome_trace(recorder, trace)
         write_metrics_snapshot(recorder, metrics)
         write_events_jsonl(recorder, events)
-        return {"trace": trace, "metrics": metrics, "events": events}
+        artifacts = {"trace": trace, "metrics": metrics, "events": events}
+        if health_report is not None:
+            health = os.path.join(self.trace_dir, f"health-{run_id}.json")
+            prom = os.path.join(self.trace_dir, f"prom-{run_id}.prom")
+            write_health_report(health_report, health)
+            write_prometheus(recorder, prom)
+            artifacts["health"] = health
+            artifacts["prometheus"] = prom
+        return artifacts
 
     # ------------------------------------------------------------------
     def _worker_count(self) -> int:

@@ -38,6 +38,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from ..core.errors import SimulationError
 from ..core.topology import Topology
 from ..core.units import gbps_to_bytes_per_sec
+from ..obs import FRACTION_BUCKETS as _FRACTION_BUCKETS
 from ..obs import resolve as _obs_resolve
 from .flow import Flow
 from .solver import IncrementalMaxMinSolver, SolveOutcome
@@ -186,13 +187,19 @@ class FluidSimulator:
         # observability: explicit recorder wins over the process-wide
         # one; disabled resolves to None so the hot loop pays one check
         self._rec = _obs_resolve(recorder)
+        #: last committed solve's dirty fraction (health-hub sampled)
+        self.last_dirty_frac: Optional[float] = None
+        # health sampler hub, when a HealthEngine is attached to the
+        # recorder; read once here, same discipline as _rec itself
+        self._hub = self._rec.health if self._rec is not None else None
         if self._rec is not None:
             m = self._rec.metrics
             self._m_solves = m.counter("sim.solves")
             self._m_full_solves = m.counter("sim.full_solves")
             self._m_incremental_solves = m.counter("sim.incremental_solves")
             self._m_noop_solves = m.counter("sim.noop_solves")
-            self._m_dirty_frac = m.histogram("sim.dirty_frac")
+            self._m_dirty_frac = m.histogram(
+                "sim.dirty_frac", buckets=_FRACTION_BUCKETS)
             self._m_iterations = m.counter("sim.solver_iterations")
             self._m_started = m.counter("sim.flows_started")
             self._m_finished = m.counter("sim.flows_finished")
@@ -342,11 +349,14 @@ class FluidSimulator:
             if outcome.mode == "full":
                 self._m_full_solves.inc()
                 self._m_dirty_frac.observe(1.0)
+                self.last_dirty_frac = 1.0
             elif outcome.mode == "incremental":
                 self._m_incremental_solves.inc()
                 self._m_dirty_frac.observe(outcome.dirty_frac)
+                self.last_dirty_frac = outcome.dirty_frac
             else:
                 self._m_noop_solves.inc()
+                self.last_dirty_frac = 0.0
         if not outcome.touched:
             return
         solver = self._solver
@@ -473,6 +483,7 @@ class FluidSimulator:
             if self._rec is not None:
                 self._m_solves.inc()
                 self._m_full_solves.inc()
+                self.last_dirty_frac = 1.0
                 for fid, flow in self._active.items():
                     if abs(rates[fid] - flow.rate_gbps) > _EPS:
                         self._m_rate_changes.inc()
@@ -546,11 +557,27 @@ class FluidSimulator:
         return label
 
     def _record_link_util(self) -> None:
-        """Sample per-tier peak link utilization after a rate solve."""
+        """Sample per-tier peak link utilization after a rate solve.
+
+        When a health hub is attached the same pass also counts flows
+        per directed link and hands both maps to the hub's samplers
+        (decimated by ``hub.wants_sample()``), so health monitoring
+        adds no extra traversal of the active set.
+        """
+        hub = self._hub
+        counts: Optional[Dict[int, int]] = (
+            {} if hub is not None and hub.wants_sample() else None
+        )
         loads: Dict[int, float] = {}
-        for flow in self._active.values():
-            for dl in dict.fromkeys(flow.path.dirlinks):
-                loads[dl] = loads.get(dl, 0.0) + flow.rate_gbps
+        if counts is None:
+            for flow in self._active.values():
+                for dl in dict.fromkeys(flow.path.dirlinks):
+                    loads[dl] = loads.get(dl, 0.0) + flow.rate_gbps
+        else:
+            for flow in self._active.values():
+                for dl in dict.fromkeys(flow.path.dirlinks):
+                    loads[dl] = loads.get(dl, 0.0) + flow.rate_gbps
+                    counts[dl] = counts.get(dl, 0) + 1
         per_tier: Dict[str, float] = {}
         for dl, load in loads.items():
             cap = self.link_gbps(dl)
@@ -564,6 +591,24 @@ class FluidSimulator:
             self._rec.metrics.gauge("link_util", tier=tier).set(
                 util, ts_s=self.now
             )
+        if counts is not None:
+            hub.sample_fluid(self, loads, counts)
+
+    def oracle_drift(self) -> float:
+        """Max |committed - oracle| rate (Gbps) over active flows.
+
+        One from-scratch :func:`max_min_rates` solve compared against
+        the rates the running engine last committed -- the health
+        engine's solver-drift spot check. Costs a full solve, so
+        callers decide how often (``HealthConfig.drift_check_every``).
+        """
+        if not self._active:
+            return 0.0
+        rates = max_min_rates(self._active.values(), self.link_gbps)
+        worst = 0.0
+        for fid in sorted(self._active):
+            worst = max(worst, abs(self._active[fid].rate_gbps - rates[fid]))
+        return worst
 
     # ------------------------------------------------------------------
     def _min_completion_dt(self) -> float:

@@ -130,6 +130,9 @@ class FleetSimulator:
         self.snapshots: List[Dict[str, Any]] = []
         self._busy_gpu_seconds = 0.0
         self._rec = _obs_resolve(recorder)
+        # health sampler hub when a HealthEngine is attached (one
+        # guard per site, same discipline as _rec)
+        self._hub = self._rec.health if self._rec is not None else None
         if self._rec is not None:
             m = self._rec.metrics
             self._g_running = m.gauge("fleet.jobs_running")
@@ -157,6 +160,9 @@ class FleetSimulator:
         self._g_running.set(len(self._running), ts_s=self.now)
         self._g_queue.set(len(self._queue), ts_s=self.now)
         self._g_busy.set(sum(j.arrival.gpus for j in running), ts_s=self.now)
+        if self._hub is not None:
+            self._hub.sample_fleet(
+                self.now, len(self._running), len(self._queue))
 
     # ------------------------------------------------------------------
     def run(self, snapshots: int = 0) -> FleetResult:
@@ -306,7 +312,22 @@ class FleetSimulator:
         return worst
 
     def snapshot(self, index: int = 0) -> Dict[str, Any]:
-        """Measure interference across the current running set."""
+        """Measure interference across the current running set.
+
+        The probe simulations run with health sampling suspended --
+        they live on their own t=0 timelines and would corrupt streak
+        state -- and the finished snapshot is judged by the hub's
+        interference detector instead.
+        """
+        hub = self._hub
+        if hub is None:
+            return self._measure_snapshot(index)
+        with hub.suspended():
+            snap = self._measure_snapshot(index)
+        hub.observe_fleet_snapshot(self.now, snap, index)
+        return snap
+
+    def _measure_snapshot(self, index: int) -> Dict[str, Any]:
         running = [self._running[jid] for jid in sorted(self._running)]
         snap: Dict[str, Any] = {
             "t_s": round(self.now, 6),
@@ -377,10 +398,12 @@ class FleetSimulator:
         snap = self.snapshot(index)
         self.snapshots.append(snap)
         if self._rec is not None:
+            backend = snap.get("backend") or {}
             self._rec.events.instant(
                 "fleet.snapshot", self.now, track="fleet",
                 index=index, jobs_running=snap["jobs_running"],
                 queue_depth=snap["queue_depth"],
+                max_slowdown=backend.get("max_slowdown", 0.0),
             )
 
 

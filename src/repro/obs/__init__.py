@@ -15,7 +15,11 @@ records), available on any run:
   ``trace_event`` JSON (opens in Perfetto / ``chrome://tracing``);
 * :mod:`~repro.obs.log` -- the print-free library logger (LINT005);
 * :mod:`~repro.obs.overhead` -- the disabled-instrumentation overhead
-  benchmark CI gates at <5%.
+  benchmark CI gates at <5%;
+* :mod:`~repro.obs.health` -- the fabric health engine: streaming
+  samplers over hot-path state, anomaly detectors (polarization,
+  hotspots, failover SLO, solver drift, fleet interference), typed
+  incidents, and the ``repro health`` report surface.
 
 Quick start::
 
@@ -32,14 +36,20 @@ from .export import (
     events_to_jsonl,
     load_events_jsonl,
     metrics_snapshot,
+    parse_prometheus_text,
+    prometheus_exposition,
     summary_table,
     validate_chrome_trace,
     write_chrome_trace,
     write_events_jsonl,
+    write_health_report,
     write_metrics_snapshot,
+    write_prometheus,
 )
 from .log import ObsLogger, get_logger
 from .metrics import (
+    DEFAULT_BUCKETS,
+    FRACTION_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -56,23 +66,41 @@ from .recorder import (
 )
 from .ring import RingBuffer
 
+# health imports Recorder/export pieces above, so it must come last
+from .health import (  # noqa: E402  (deliberate layering order)
+    HealthConfig,
+    HealthEngine,
+    HealthReport,
+    Incident,
+    SamplerHub,
+)
+
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Event",
     "EventLog",
+    "FRACTION_BUCKETS",
     "Gauge",
+    "HealthConfig",
+    "HealthEngine",
+    "HealthReport",
     "Histogram",
+    "Incident",
     "MetricsRegistry",
     "NullRecorder",
     "ObsLogger",
     "Recorder",
     "RingBuffer",
+    "SamplerHub",
     "chrome_trace",
     "events_to_jsonl",
     "get_logger",
     "get_recorder",
     "load_events_jsonl",
     "metrics_snapshot",
+    "parse_prometheus_text",
+    "prometheus_exposition",
     "recording",
     "resolve",
     "series_name",
@@ -81,5 +109,7 @@ __all__ = [
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_events_jsonl",
+    "write_health_report",
     "write_metrics_snapshot",
+    "write_prometheus",
 ]

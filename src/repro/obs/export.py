@@ -1,6 +1,6 @@
-"""Exporters: JSONL events, metrics snapshots, and Chrome trace_event.
+"""Exporters: JSONL events, metrics, Chrome traces, Prometheus text.
 
-Three interchange formats for one recording:
+Interchange formats for one recording:
 
 * **JSONL** -- one event per line; lossless round trip through
   :func:`load_events_jsonl` (replay, diffing, ad-hoc jq);
@@ -11,7 +11,12 @@ Three interchange formats for one recording:
   Perfetto and ``chrome://tracing`` open directly. Spans become ``X``
   (complete) events, instants become ``i``, gauge sample series and
   counters become ``C`` counter tracks, and each event-log track gets a
-  named thread row via ``M`` metadata events.
+  named thread row via ``M`` metadata events;
+* **Prometheus text exposition** -- every series rendered in the
+  ``# TYPE``-annotated text format scrape endpoints speak, with an
+  exact :func:`parse_prometheus_text` inverse (the round-trip test
+  gate), plus the :func:`write_health_report` JSON artifact writer for
+  :class:`~repro.obs.health.report.HealthReport` objects.
 
 Timestamps are simulation seconds scaled to trace microseconds.
 """
@@ -19,7 +24,8 @@ Timestamps are simulation seconds scaled to trace microseconds.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Union
+import math
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .events import Event, EventLog
 from .metrics import Counter, Gauge, json_safe_number
@@ -179,6 +185,180 @@ def write_chrome_trace(recorder: Recorder, path: str,
                        pid: int = 1) -> str:
     with open(path, "w") as fh:
         json.dump(chrome_trace(recorder, pid=pid), fh)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(series_name: str) -> str:
+    """Sanitize a series name into a Prometheus metric name."""
+    out = []
+    for ch in series_name:
+        if ch.isalnum() or ch in ("_", ":"):
+            out.append(ch)
+        else:
+            out.append("_")
+    name = "".join(out)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_value(value: float) -> str:
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(v)
+
+
+def _prom_labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(k)}="{_prom_escape(v)}"' for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_exposition(recorder: Recorder) -> str:
+    """Render every metric series in the Prometheus text format.
+
+    Counters and gauges become single samples; histograms become the
+    conventional cumulative ``_bucket{le=...}`` series plus ``_sum``
+    and ``_count``. Float values use ``repr`` so
+    :func:`parse_prometheus_text` round-trips them exactly.
+    """
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+    for metric in recorder.metrics.series():
+        name = _prom_name(metric.name)
+        labels = list(metric.labels)
+        if isinstance(metric, Counter):
+            kind = "counter"
+        elif isinstance(metric, Gauge):
+            kind = "gauge"
+        else:
+            kind = "histogram"
+        if name not in typed:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        elif typed[name] != kind:
+            raise ValueError(
+                f"series {metric.series!r} renders to {name!r} as "
+                f"{kind}, already exposed as {typed[name]}"
+            )
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{name}{_prom_labels(labels)} "
+                f"{_prom_value(metric.value)}"
+            )
+            continue
+        cumulative = 0
+        for bound, bucket_count in zip(metric.buckets,
+                                       metric.bucket_counts):
+            cumulative += bucket_count
+            le = labels + [("le", _prom_value(bound))]
+            lines.append(f"{name}_bucket{_prom_labels(le)} {cumulative}")
+        le = labels + [("le", "+Inf")]
+        lines.append(f"{name}_bucket{_prom_labels(le)} {metric.count}")
+        lines.append(
+            f"{name}_sum{_prom_labels(labels)} {_prom_value(metric.total)}"
+        )
+        lines.append(f"{name}_count{_prom_labels(labels)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(recorder: Recorder, path: str) -> str:
+    with open(path, "w") as fh:
+        fh.write(prometheus_exposition(recorder))
+    return path
+
+
+def _parse_prom_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    n = len(body)
+    while i < n:
+        eq = body.index("=", i)
+        key = body[i:eq]
+        if eq + 1 >= n or body[eq + 1] != '"':
+            raise ValueError(f"malformed label body {body!r}")
+        k = eq + 2
+        out: List[str] = []
+        while body[k] != '"':
+            ch = body[k]
+            if ch == "\\":
+                nxt = body[k + 1]
+                out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                k += 2
+            else:
+                out.append(ch)
+                k += 1
+        labels[key] = "".join(out)
+        i = k + 1
+        if i < n and body[i] == ",":
+            i += 1
+    return labels
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Any]:
+    """Inverse of :func:`prometheus_exposition`.
+
+    Returns ``{metric_name: {"type": kind, "samples": [...]}}`` where
+    each sample is ``(sample_name, labels_dict, value)`` --
+    ``sample_name`` keeps histogram suffixes (``_bucket``/``_sum``/
+    ``_count``) so callers can reconstruct distributions.
+    """
+    families: Dict[str, Any] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                families.setdefault(
+                    parts[2], {"type": parts[3], "samples": []}
+                )
+            continue
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            body, _, value_part = rest.rpartition("}")
+            labels = _parse_prom_labels(body)
+            value = float(value_part.strip())
+        else:
+            name, _, value_part = line.rpartition(" ")
+            labels = {}
+            value = float(value_part)
+            name = name.strip()
+        family_name = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family_name = name[: -len(suffix)]
+                break
+        family = families.setdefault(
+            family_name, {"type": "untyped", "samples": []}
+        )
+        family["samples"].append((name, labels, value))
+    return families
+
+
+# ----------------------------------------------------------------------
+# health report artifact
+# ----------------------------------------------------------------------
+def write_health_report(report: Any, path: str) -> str:
+    """Write a health report (or any jsonable-bearing object) as JSON."""
+    body = report.to_jsonable() if hasattr(report, "to_jsonable") else report
+    with open(path, "w") as fh:
+        json.dump(body, fh, indent=2, sort_keys=True)
     return path
 
 

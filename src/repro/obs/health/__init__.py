@@ -1,0 +1,65 @@
+"""Fabric health engine: streaming samplers, detectors, incidents.
+
+The operational layer on top of ``repro.obs``: a
+:class:`SamplerHub` turns hot-path simulator state into bounded
+``health.*`` time series, streaming detectors turn those series into
+typed :class:`Incident` records, and a :class:`HealthEngine` collects
+them into a :class:`HealthReport` (plus a ``health`` Chrome-trace
+track). See ``docs/observability.md`` for the rule catalogue, and
+``repro health`` for the CLI surface.
+
+:mod:`repro.obs.health.scenario` (the seeded fault-injection scenario
+used by CI and tests) is intentionally *not* imported here -- it pulls
+in topology/fleet layers that plain obs users never need.
+"""
+
+from .detectors import (
+    FailoverSloDetector,
+    HealthConfig,
+    HotspotDetector,
+    InterferenceDetector,
+    PolarizationDetector,
+    SolverDriftDetector,
+)
+from .engine import HealthEngine, replay, replay_trace_dir
+from .incidents import (
+    ALL_RULES,
+    ERROR,
+    INFO,
+    RULE_FAILOVER_SLO,
+    RULE_HOTSPOT,
+    RULE_INTERFERENCE,
+    RULE_POLARIZATION,
+    RULE_SOLVER_DRIFT,
+    SEVERITIES,
+    WARNING,
+    Incident,
+)
+from .report import ERROR_EXIT_CODE, HealthReport
+from .samplers import SamplerHub
+
+__all__ = [
+    "ALL_RULES",
+    "ERROR",
+    "ERROR_EXIT_CODE",
+    "FailoverSloDetector",
+    "HealthConfig",
+    "HealthEngine",
+    "HealthReport",
+    "HotspotDetector",
+    "INFO",
+    "Incident",
+    "InterferenceDetector",
+    "PolarizationDetector",
+    "RULE_FAILOVER_SLO",
+    "RULE_HOTSPOT",
+    "RULE_INTERFERENCE",
+    "RULE_POLARIZATION",
+    "RULE_SOLVER_DRIFT",
+    "SEVERITIES",
+    "SamplerHub",
+    "SolverDriftDetector",
+    "WARNING",
+    "replay",
+    "replay_trace_dir",
+]

@@ -1,0 +1,251 @@
+"""HealthEngine: wires detectors to a recorder, finalizes, replays.
+
+Live use::
+
+    rec = Recorder()
+    engine = HealthEngine(rec).attach()      # before building sims
+    sim = FluidSimulator(topo, recorder=rec) # picks up rec.health
+    sim.run()
+    report = engine.finalize()               # close streaks, scan spans
+
+Replay reconstructs the same verdicts from a run's written artifacts
+(``metrics-*.json`` + ``events-*.jsonl``): the hub records everything
+the streak detectors consumed as sparse ``health.*`` gauge samples, so
+feeding those back in timestamp order reproduces the live decisions
+(assuming one monotonic fluid timeline, which traced engine runs have).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..export import load_events_jsonl
+from .detectors import (
+    FailoverSloDetector,
+    HealthConfig,
+    HotspotDetector,
+    InterferenceDetector,
+    PolarizationDetector,
+    SolverDriftDetector,
+)
+from .incidents import Incident
+from .report import HealthReport
+from .samplers import SamplerHub
+
+
+class HealthEngine:
+    """Owns the config, the detectors, the hub, and the incident list."""
+
+    def __init__(self, recorder, config: Optional[HealthConfig] = None):
+        if recorder is None or not getattr(recorder, "enabled", False):
+            raise ValueError(
+                "HealthEngine needs an enabled Recorder (disabled "
+                "recorders resolve to None and record nothing)"
+            )
+        self.recorder = recorder
+        self.config = config if config is not None else HealthConfig()
+        self.incidents: List[Incident] = []
+        self.hotspot = HotspotDetector(self.config, self._emit)
+        self.polarization = PolarizationDetector(self.config, self._emit)
+        self.drift = SolverDriftDetector(self.config, self._emit)
+        self.interference = InterferenceDetector(self.config, self._emit)
+        self.failover = FailoverSloDetector(self.config, self._emit)
+        self.hub = SamplerHub(
+            recorder, self.config,
+            hotspot=self.hotspot, polarization=self.polarization,
+            drift=self.drift, interference=self.interference,
+        )
+        # back-reference so code holding only ``rec.health`` (e.g. an
+        # experiment body under ``repro health``) can reach the engine
+        self.hub.engine = self
+        self._report: Optional[HealthReport] = None
+
+    # ------------------------------------------------------------------
+    def configure(self, **overrides: Any) -> "HealthEngine":
+        """Tweak config fields in place (seen by hub and detectors)."""
+        for key, value in overrides.items():
+            if not hasattr(self.config, key):
+                raise TypeError(f"unknown HealthConfig field {key!r}")
+            setattr(self.config, key, value)
+        return self
+
+    def attach(self) -> "HealthEngine":
+        """Expose the hub on ``recorder.health``.
+
+        Components read ``rec.health`` once at construction, so attach
+        *before* building the simulators that should be watched.
+        """
+        self.recorder.health = self.hub
+        return self
+
+    def detach(self) -> "HealthEngine":
+        if self.recorder.health is self.hub:
+            self.recorder.health = None
+        return self
+
+    def watch_router(self, router) -> "HealthEngine":
+        self.hub.watch_router(router)
+        return self
+
+    # ------------------------------------------------------------------
+    def _emit(self, incident: Incident) -> None:
+        self.incidents.append(incident)
+        self.recorder.metrics.counter(
+            "health.incidents", rule=incident.rule,
+            severity=incident.severity,
+        ).inc()
+
+    def finalize(self, now: Optional[float] = None) -> HealthReport:
+        """Close streaks, scan spans, emit the incident track, report.
+
+        Idempotent: the second call returns the first call's report.
+        """
+        if self._report is not None:
+            return self._report
+        end = now if now is not None else (self.hub.last_now or 0.0)
+        self.hub.flush_streaks(end)
+        # persist the effective thresholds: replay rebuilds its config
+        # from these, so recorded verdicts survive non-default tuning
+        for fld in dataclasses.fields(self.config):
+            self.recorder.metrics.gauge(
+                "health.config", field=fld.name,
+            ).set(float(getattr(self.config, fld.name)))
+        self.failover.scan_events(self.recorder.events)
+        self.incidents.sort(key=lambda i: i.sort_key())
+        for inc in self.incidents:
+            self.recorder.events.span(
+                inc.rule, inc.start_s, max(inc.end_s, inc.start_s),
+                track="health", severity=inc.severity,
+                subject=inc.subject, message=inc.message,
+            )
+        self._report = HealthReport(
+            incidents=list(self.incidents),
+            series_count=len(self.recorder.metrics),
+            event_count=len(self.recorder.events),
+            finalized_at_s=end,
+        )
+        return self._report
+
+    def report(self) -> HealthReport:
+        return self.finalize()
+
+
+# ----------------------------------------------------------------------
+# replay: artifacts -> report
+# ----------------------------------------------------------------------
+def _parse_series(series: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`repro.obs.metrics.series_name`."""
+    if "{" not in series:
+        return series, {}
+    name, _, rest = series.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        if pair:
+            k, _, v = pair.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+#: replayed sample kinds fed to detectors, in tie-break order; "tick"
+#: samples only advance the fluid clock (every acted hub sample records
+#: one), pinning the end-of-timeline streak flush to the same instant
+#: the live hub used -- not to later fleet-clock events
+_KIND_ORDER = {"tick": -1, "util": 0, "spread": 1, "drift": 2,
+               "slowdown": 3}
+
+_SERIES_KINDS = {
+    "health.dirty_frac": ("tick", None),
+    "health.link_util": ("util", "link"),
+    "health.ecmp_spread": ("spread", "switch"),
+    "health.solver_drift": ("drift", None),
+    "health.fleet_slowdown": ("slowdown", "job"),
+}
+
+
+def _config_from_metrics(metrics: Mapping[str, Any]) -> Optional[HealthConfig]:
+    """Rebuild the live run's config from ``health.config`` gauges."""
+    overrides: Dict[str, Any] = {}
+    known = {fld.name: fld for fld in dataclasses.fields(HealthConfig)}
+    for series in metrics:
+        name, labels = _parse_series(series)
+        fld = known.get(labels.get("field", ""))
+        if name != "health.config" or fld is None:
+            continue
+        value = metrics[series].get("value")
+        if value is None:
+            continue
+        overrides[fld.name] = int(value) if fld.type == "int" else value
+    return HealthConfig(**overrides) if overrides else None
+
+
+def replay(events: Iterable, metrics: Mapping[str, Any],
+           config: Optional[HealthConfig] = None) -> HealthReport:
+    """Re-run the detectors over recorded artifacts.
+
+    ``metrics`` is the body of a metrics-snapshot artifact (either the
+    full recorder snapshot or just its ``"metrics"`` mapping);
+    ``events`` is a sequence of :class:`~repro.obs.events.Event`.
+    ``config=None`` rebuilds the live run's thresholds from its
+    persisted ``health.config`` gauges (falling back to defaults).
+    """
+    from ..recorder import Recorder  # local: replay needs a scratch sink
+
+    if "metrics" in metrics and isinstance(metrics["metrics"], Mapping):
+        metrics = metrics["metrics"]
+    if config is None:
+        config = _config_from_metrics(metrics)
+    engine = HealthEngine(Recorder(), config=config)
+    samples: List[Tuple[float, int, str, float]] = []
+    for series in sorted(metrics):
+        name, labels = _parse_series(series)
+        kind_spec = _SERIES_KINDS.get(name)
+        if kind_spec is None:
+            continue
+        kind, label_key = kind_spec
+        subject = labels.get(label_key, "solver") if label_key else "solver"
+        for ts, value in metrics[series].get("samples", []):
+            if value is None:
+                continue
+            samples.append((ts, _KIND_ORDER[kind], subject, value))
+    samples.sort()
+    fluid_ts: Optional[float] = None
+    for ts, kind_order, subject, value in samples:
+        if kind_order <= 2:
+            fluid_ts = ts  # ticks/streak feeds ride the fluid clock
+        if kind_order == 0:
+            engine.hotspot.observe(ts, subject, value)
+        elif kind_order == 1:
+            engine.polarization.observe(ts, subject, value)
+        elif kind_order == 3:
+            engine.interference.observe_snapshot(ts, subject, value)
+        elif kind_order == 2:
+            engine.drift.observe(ts, subject, value)
+    for event in events:
+        engine.recorder.events.record(event)  # finalize scans these
+    return engine.finalize(now=fluid_ts if fluid_ts is not None else 0.0)
+
+
+def replay_trace_dir(path: str,
+                     config: Optional[HealthConfig] = None) -> HealthReport:
+    """Replay every ``metrics-*.json`` / ``events-*.jsonl`` in a dir."""
+    metrics: Dict[str, Any] = {}
+    events: List[Any] = []
+    names = sorted(os.listdir(path))
+    for name in names:
+        full = os.path.join(path, name)
+        if name.startswith("metrics-") and name.endswith(".json"):
+            with open(full) as fh:
+                body = json.load(fh)
+            if "metrics" in body and isinstance(body["metrics"], Mapping):
+                body = body["metrics"]
+            metrics.update(body)
+        elif name.startswith("events-") and name.endswith(".jsonl"):
+            events.extend(load_events_jsonl(full))
+    if not metrics and not events:
+        raise FileNotFoundError(
+            f"no metrics-*.json / events-*.jsonl artifacts under {path!r}"
+        )
+    return replay(events, metrics, config=config)

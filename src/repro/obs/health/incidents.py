@@ -1,0 +1,96 @@
+"""Typed incident records: what a detector says when a rule fires.
+
+An :class:`Incident` is the unit of the health vocabulary -- one rule
+firing over one subject for one sim-time span. Detectors emit them,
+the :class:`~repro.obs.health.engine.HealthEngine` collects them into
+a :class:`~repro.obs.health.report.HealthReport`, and the exporter
+turns them into their own Chrome-trace track and JSON artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+#: severity ladder, least to most severe; ERROR drives nonzero CLI exit
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
+
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+#: rule identifiers (also the event names on the ``health`` trace track)
+RULE_POLARIZATION = "health.polarization"
+RULE_HOTSPOT = "health.hotspot"
+RULE_FAILOVER_SLO = "health.failover_slo"
+RULE_SOLVER_DRIFT = "health.solver_drift"
+RULE_INTERFERENCE = "health.interference"
+
+ALL_RULES: Tuple[str, ...] = (
+    RULE_POLARIZATION,
+    RULE_HOTSPOT,
+    RULE_FAILOVER_SLO,
+    RULE_SOLVER_DRIFT,
+    RULE_INTERFERENCE,
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One rule firing over one subject for one sim-time span."""
+
+    rule: str             #: one of :data:`ALL_RULES`
+    severity: str         #: one of :data:`SEVERITIES`
+    subject: str          #: the entity: switch/link label, job id, "solver"
+    start_s: float        #: sim time the condition was first observed
+    end_s: float          #: sim time it cleared (== start_s for instants)
+    message: str          #: one-line human summary
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if self.end_s < self.start_s:
+            raise ValueError(
+                f"incident ends before it starts "
+                f"({self.end_s} < {self.start_s})"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def sort_key(self) -> Tuple[float, str, str, float]:
+        """Deterministic report order: time, rule, subject."""
+        return (self.start_s, self.rule, self.subject, self.end_s)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "subject": self.subject,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Incident":
+        return cls(
+            rule=d["rule"],
+            severity=d["severity"],
+            subject=d["subject"],
+            start_s=d["start_s"],
+            end_s=d["end_s"],
+            message=d["message"],
+            data=dict(d.get("data", {})),
+        )
+
+    def render(self) -> str:
+        """``[SEV] rule subject [t0..t1] message`` one-liner."""
+        return (
+            f"[{self.severity.upper():>7}] {self.rule:<22} "
+            f"{self.subject:<28} "
+            f"[{self.start_s:.3f}s..{self.end_s:.3f}s] {self.message}"
+        )

@@ -1,0 +1,93 @@
+"""HealthReport: one recording's incidents, summarized and renderable."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from .incidents import ERROR, SEVERITIES, WARNING, Incident
+
+#: process exit code for a report carrying ERROR incidents
+ERROR_EXIT_CODE = 3
+
+
+@dataclass
+class HealthReport:
+    """The health engine's summary of one recording."""
+
+    incidents: List[Incident] = field(default_factory=list)
+    series_count: int = 0
+    event_count: int = 0
+    finalized_at_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    def by_severity(self) -> Dict[str, int]:
+        counts = {sev: 0 for sev in SEVERITIES}
+        for inc in self.incidents:
+            counts[inc.severity] += 1
+        return counts
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for inc in self.incidents:
+            counts[inc.rule] = counts.get(inc.rule, 0) + 1
+        return counts
+
+    @property
+    def error_count(self) -> int:
+        return self.by_severity()[ERROR]
+
+    @property
+    def warning_count(self) -> int:
+        return self.by_severity()[WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No ERROR-severity incidents (warnings don't fail a run)."""
+        return self.error_count == 0
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else ERROR_EXIT_CODE
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "incidents": [inc.to_dict() for inc in self.incidents],
+            "by_severity": self.by_severity(),
+            "by_rule": self.by_rule(),
+            "series_count": self.series_count,
+            "event_count": self.event_count,
+            "finalized_at_s": self.finalized_at_s,
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_jsonable(cls, d: Mapping[str, Any]) -> "HealthReport":
+        return cls(
+            incidents=[Incident.from_dict(i) for i in d.get("incidents", [])],
+            series_count=int(d.get("series_count", 0)),
+            event_count=int(d.get("event_count", 0)),
+            finalized_at_s=float(d.get("finalized_at_s", 0.0)),
+        )
+
+    def render_text(self, max_incidents: Optional[int] = None) -> str:
+        """Terminal rendering: verdict, incident lines, totals."""
+        sev = self.by_severity()
+        verdict = "HEALTHY" if self.ok else "UNHEALTHY"
+        lines = [
+            f"health: {verdict} -- "
+            f"{sev[ERROR]} error(s), {sev[WARNING]} warning(s), "
+            f"{sev['info']} info "
+            f"({self.series_count} series, {self.event_count} events, "
+            f"t={self.finalized_at_s:.3f}s)"
+        ]
+        shown = self.incidents
+        hidden = 0
+        if max_incidents is not None and len(shown) > max_incidents:
+            hidden = len(shown) - max_incidents
+            shown = shown[:max_incidents]
+        lines.extend(inc.render() for inc in shown)
+        if hidden:
+            lines.append(f"... and {hidden} more incident(s)")
+        return "\n".join(lines)

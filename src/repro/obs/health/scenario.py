@@ -1,0 +1,211 @@
+"""Seeded fault-injection scenario exercising every health detector.
+
+One small HPN pod (2 segments x 8 single-rail hosts, 4 aggs per
+plane, polarized hashing) runs three phases on one recording:
+
+1. **fabric phase** -- 8 inter-segment flows whose source ports are
+   *mined* so the ToR's ECMP hash concentrates them: ``faulty`` mode
+   lands every flow on one uplink (polarization + sustained hotspot),
+   ``clean`` mode round-robins them across all four uplinks and sizes
+   them to finish before the hotspot minimum duration;
+2. **failover phase** (faulty only) -- one dual-ToR access leg flaps
+   mid-run with a BGP convergence tuned *over* the failover SLO;
+3. **fleet phase** -- a FleetSimulator burst: ``faulty`` oversubscribes
+   with spread placement (rings share uplinks -> interference),
+   ``clean`` packs two small jobs into one segment.
+
+``clean`` yields zero incidents; ``faulty`` yields exactly the
+injected polarization, hotspot, failover-SLO (ERROR), and
+interference incidents. The body is pure in ``(params, seed)`` --
+identical payloads under serial and parallel engine runs -- and uses
+the ambient health hub when one is attached (``repro health``),
+otherwise a local engine, so detection always runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..recorder import Recorder, resolve
+from .detectors import HealthConfig
+from .engine import HealthEngine
+from .report import HealthReport
+
+_DPORT = 4791  # RoCEv2
+
+#: fabric-phase flow size: 12.5 GB -> 2 s polarized (50 Gbps share),
+#: 0.5 s clean (access-bound 200 Gbps) -- under the hotspot minimum
+_FLOW_BYTES = 12.5e9
+
+#: scenario overrides: sample every solve (runs are tiny), exercise the
+#: drift watchdog, and budget interference at 1.2x (one extra flow on a
+#: 400G uplink beyond the harmless two -> slowdown 1.5x, caught)
+SCENARIO_CONFIG = dict(
+    sample_every=1,
+    drift_check_every=1,
+    interference_budget=1.2,
+)
+
+
+def _scenario_cluster():
+    from ...cluster import Cluster
+    from ...topos.spec import HpnSpec
+
+    return Cluster.hpn(HpnSpec(
+        pods=1,
+        segments_per_pod=2,
+        hosts_per_segment=8,
+        backup_hosts_per_segment=0,
+        gpus_per_host=1,
+        aggs_per_plane=4,
+        cores_per_plane=0,
+    ))
+
+
+def _mine_sport(router, src_nic, dst_nic, want_agg: str,
+                base: int) -> Tuple[int, Any, Any]:
+    """Find a source port whose ECMP hash picks ``want_agg``."""
+    from ...routing.hashing import FiveTuple
+
+    for sport in range(base, base + 4096):
+        ft = FiveTuple(src_nic.ip, dst_nic.ip, sport, _DPORT)
+        path = router.path_for(src_nic, dst_nic, ft)
+        if path.nodes[2] == want_agg:
+            return sport, ft, path
+    raise RuntimeError(f"no sport in 4096 tries reaches {want_agg}")
+
+
+def _fabric_flows(cluster, mode: str) -> List[Any]:
+    """8 seg0->seg1 flows with hash-mined uplink placement."""
+    from ...fabric.flow import Flow
+    from ...topos.hpn import agg_name, host_name
+
+    topo = cluster.topo
+    flows = []
+    base = 49152
+    for i in range(8):
+        src = topo.hosts[host_name(0, 0, i)].nic_for_rail(0)
+        dst = topo.hosts[host_name(0, 1, i)].nic_for_rail(0)
+        # faulty: every flow on agg0 (polarized); clean: round-robin
+        want = agg_name(0, 0, 0 if mode == "faulty" else i % 4)
+        sport, ft, path = _mine_sport(cluster.router, src, dst, want, base)
+        base = sport + 1
+        flows.append(Flow(
+            five_tuple=ft, size_bytes=_FLOW_BYTES, path=path,
+            start_time=0.0, tag=f"scn{i}",
+        ))
+    return flows
+
+
+def _run_fabric_phase(cluster, rec, mode: str) -> Dict[str, Any]:
+    from ...access.bgp import FailoverTimeline
+    from ...fabric.simulator import FluidSimulator
+    from ...topos.hpn import host_name, tor_name
+
+    topo = cluster.topo
+    sim = FluidSimulator(topo, recorder=rec)
+    sim.add_flows(_fabric_flows(cluster, mode))
+
+    flapped: Optional[int] = None
+    if mode == "faulty":
+        # dual-ToR flap: host0's plane-0 leg, convergence over the SLO
+        links = topo.link_between(host_name(0, 0, 0), tor_name(0, 0, 0, 0))
+        flapped = links[0].link_id
+        timeline = FailoverTimeline(
+            topo, detect_delay_s=0.05, convergence_delay_s=0.7,
+            recorder=rec,
+        )
+
+        def _fail(s, lid=flapped, tl=timeline):
+            s.topo.set_link_state(lid, False)
+            tl.fail_access_link(lid, s.now)
+
+        def _recover(s, lid=flapped, tl=timeline):
+            s.topo.set_link_state(lid, True)
+            tl.recover_access_link(lid, s.now)
+
+        sim.schedule(0.25, _fail)
+        sim.schedule(0.85, _recover)
+
+    result = sim.run()
+    return {
+        "finish_s": round(result.finish_time, 9),
+        "flows": len(result.flow_finish),
+        "flapped_link": flapped,
+    }
+
+
+def _fleet_arrivals(mode: str) -> List[Any]:
+    from ...fleet.arrivals import JobArrival
+
+    if mode == "faulty":
+        # 6 x 3-host jobs on a 16-host fleet: 5 run, 1 queues
+        return [
+            JobArrival(job_id=i, arrive_s=float(i), gpus=3, hosts=3,
+                       duration_s=50.0)
+            for i in range(6)
+        ]
+    return [
+        JobArrival(job_id=i, arrive_s=float(i), gpus=3, hosts=3,
+                   duration_s=10.0)
+        for i in range(2)
+    ]
+
+
+def _run_fleet_phase(cluster, rec, mode: str, seed: int) -> Dict[str, Any]:
+    from ...fleet.sim import FleetSimulator
+
+    sim = FleetSimulator(
+        cluster,
+        _fleet_arrivals(mode),
+        policy="spread" if mode == "faulty" else "pack",
+        edge_mb=64.0,
+        seed=seed,
+        recorder=rec,
+    )
+    result = sim.run(snapshots=2)
+    max_slowdown = 0.0
+    for snap in result.snapshots:
+        backend = snap.get("backend") or {}
+        max_slowdown = max(max_slowdown,
+                           float(backend.get("max_slowdown", 0.0)))
+    return {
+        "jobs": len(result.jobs),
+        "makespan_s": round(result.makespan_s, 9),
+        "max_slowdown": round(max_slowdown, 6),
+    }
+
+
+def run_health_scenario(params: Mapping[str, Any],
+                        seed: int) -> Dict[str, Any]:
+    """Engine body for ``health.scenario`` (modes: clean / faulty)."""
+    mode = str(params.get("mode", "faulty"))
+    if mode not in ("clean", "faulty"):
+        raise ValueError(f"unknown scenario mode {mode!r}")
+
+    rec = resolve(None)
+    engine: Optional[HealthEngine] = None
+    if rec is not None and rec.health is not None:
+        engine = getattr(rec.health, "engine", None)
+    if engine is None:
+        # standalone (plain `repro exp run`, serial or parallel):
+        # detection still runs, on a local recording
+        rec = Recorder()
+        engine = HealthEngine(rec, HealthConfig()).attach()
+    engine.configure(**SCENARIO_CONFIG)
+    cluster = _scenario_cluster()
+    engine.watch_router(cluster.router)
+
+    fabric = _run_fabric_phase(cluster, rec, mode)
+    fleet = _run_fleet_phase(cluster, rec, mode, seed)
+    report: HealthReport = engine.finalize()
+
+    return {
+        "mode": mode,
+        "fabric": fabric,
+        "fleet": fleet,
+        "incidents": [inc.to_dict() for inc in report.incidents],
+        "by_rule": report.by_rule(),
+        "by_severity": report.by_severity(),
+        "ok": report.ok,
+    }

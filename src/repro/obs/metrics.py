@@ -24,6 +24,11 @@ LabelSet = Tuple[Tuple[str, str], ...]
 #: default histogram bucket upper bounds (seconds-ish decades)
 DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
 
+#: bucket bounds for fraction-valued series (utilization, dirty
+#: fraction, hit rates): the seconds decades above would collapse a
+#: 0..1 signal into two bins
+FRACTION_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+
 
 def _labelset(labels: Mapping[str, Any]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))

@@ -20,7 +20,7 @@ benchmark (:mod:`repro.obs.overhead`) enforces.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterable, Iterator, Optional
 
 from .events import Event, EventLog
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -38,6 +38,10 @@ class Recorder:
                  max_samples_per_series: Optional[int] = 10_000):
         self.metrics = MetricsRegistry(max_samples_per_series)
         self.events = EventLog(max_events)
+        #: optional health sampler hub (:class:`repro.obs.health.SamplerHub`)
+        #: attached by ``HealthEngine.attach``; instrumented components
+        #: read it once at construction, so attach before building sims.
+        self.health: Optional[Any] = None
 
     # -- convenience passthroughs --------------------------------------
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -46,8 +50,9 @@ class Recorder:
     def gauge(self, name: str, **labels: Any) -> Gauge:
         return self.metrics.gauge(name, **labels)
 
-    def histogram(self, name: str, **labels: Any) -> Histogram:
-        return self.metrics.histogram(name, **labels)
+    def histogram(self, name: str, buckets: Optional[Iterable[float]] = None,
+                  **labels: Any) -> Histogram:
+        return self.metrics.histogram(name, buckets=buckets, **labels)
 
     def instant(self, name: str, ts_s: float, track: str = "default",
                 **args: Any) -> Event:

@@ -434,13 +434,23 @@ def rule_cache_coherence(ctx: SemContext) -> None:
 # ----------------------------------------------------------------------
 # SEM004: layering (declarative allowed-edges over the import graph)
 # ----------------------------------------------------------------------
-#: who may import whom, by top-level subpackage. ``core`` is the
-#: foundation: it imports nothing else. The table is the architecture
-#: doc the import graph is checked against -- extend it consciously.
+#: who may import whom, by subpackage. Keys are dotted package paths
+#: relative to the project root; a module is governed by its *longest*
+#: matching key (``repro.obs.health.detectors`` -> ``obs.health`` if
+#: present, else ``obs``). ``core`` is the foundation: it imports
+#: nothing else. The table is the architecture doc the import graph is
+#: checked against -- extend it consciously.
 ALLOWED_IMPORTS: Dict[str, Set[str]] = {
     "core": set(),
     "hardware": {"core"},
     "obs": {"core", "engine"},  # engine: the obs-overhead benchmark
+    # the health engine's detectors/replay must work anywhere a trace
+    # dir exists -- ``engine`` is deliberately absent (the engine layer
+    # calls *into* obs.health, never the reverse); the simulation-layer
+    # edges are for the seeded fault-injection scenario body
+    "obs.health": {"core", "obs", "topos", "access", "routing", "fabric",
+                   "collective", "cluster", "fleet", "workloads",
+                   "training"},
     "topos": {"core", "obs", "staticcheck"},  # staticcheck: validate gate
     "access": {"core", "obs", "topos", "routing"},
     "routing": {"core", "obs", "topos", "access", "staticcheck"},
@@ -476,12 +486,29 @@ ALLOWED_IMPORTS: Dict[str, Set[str]] = {
 }
 
 
+def _layering_key(mod: ModuleInfo) -> str:
+    """Most specific ALLOWED_IMPORTS key governing ``mod``.
+
+    Walks the module's package path (project root stripped, module leaf
+    excluded for plain modules) from longest dotted prefix down; falls
+    back to the top-level subpackage (``mod.package``).
+    """
+    parts = mod.name.split(".")
+    rel = parts[1:] if len(parts) > 1 else parts
+    pkg_parts = rel if mod.is_package else rel[:-1]
+    for depth in range(len(pkg_parts), 1, -1):
+        key = ".".join(pkg_parts[:depth])
+        if key in ALLOWED_IMPORTS:
+            return key
+    return mod.package
+
+
 @semantic_rule("SEM004", "package layering follows the declared "
                "allowed-edges table", Severity.ERROR)
 def rule_layering(ctx: SemContext) -> None:
     index = ctx.index
     for mod in index.modules.values():
-        src_pkg = mod.package
+        src_pkg = _layering_key(mod)
         allowed = ALLOWED_IMPORTS.get(src_pkg)
         if allowed is None:
             # a package the table has never heard of: require an

@@ -1,0 +1,193 @@
+"""health.scenario determinism + Runner/CLI health surfaces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import Runner, get_experiment
+from repro.obs.health import (
+    ERROR_EXIT_CODE,
+    RULE_FAILOVER_SLO,
+    RULE_HOTSPOT,
+    RULE_INTERFERENCE,
+    RULE_POLARIZATION,
+    replay_trace_dir,
+)
+from repro.obs.health.scenario import run_health_scenario
+
+
+@pytest.fixture(scope="module")
+def faulty():
+    return run_health_scenario({"mode": "faulty"}, seed=0)
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return run_health_scenario({"mode": "clean"}, seed=0)
+
+
+# ----------------------------------------------------------------------
+# seeded incidents: exactly the injected ones, none on the baseline
+# ----------------------------------------------------------------------
+class TestScenarioDeterminism:
+    def test_clean_baseline_has_no_incidents(self, clean):
+        assert clean["ok"]
+        assert clean["incidents"] == []
+        assert clean["fleet"]["max_slowdown"] == pytest.approx(1.0)
+
+    def test_faulty_yields_exactly_the_injected_incidents(self, faulty):
+        assert not faulty["ok"]
+        assert faulty["by_rule"] == {
+            RULE_HOTSPOT: 2,        # polarized uplink + its mirror leg
+            RULE_POLARIZATION: 1,   # the seg0 ToR's ECMP group
+            RULE_FAILOVER_SLO: 1,   # 0.75s blackhole vs 0.5s SLO
+            RULE_INTERFERENCE: 2,   # one per oversubscribed snapshot
+        }
+        assert faulty["by_severity"] == {"error": 1, "warning": 5,
+                                         "info": 0}
+
+    def test_faulty_incident_subjects_are_the_injected_sites(self, faulty):
+        subjects = {i["rule"]: sorted(
+            inc["subject"] for inc in faulty["incidents"]
+            if inc["rule"] == i["rule"]) for i in faulty["incidents"]}
+        assert subjects[RULE_HOTSPOT] == [
+            "pod0/plane0/agg0->pod0/seg1/tor-r0p0",
+            "pod0/seg0/tor-r0p0->pod0/plane0/agg0",
+        ]
+        assert subjects[RULE_POLARIZATION] == ["pod0/seg0/tor-r0p0"]
+        (flap,) = subjects[RULE_FAILOVER_SLO]
+        assert flap == f"link_id={faulty['fabric']['flapped_link']}"
+
+    def test_failover_incident_is_the_slo_error(self, faulty):
+        (slo,) = [i for i in faulty["incidents"]
+                  if i["rule"] == RULE_FAILOVER_SLO]
+        assert slo["severity"] == "error"
+        assert slo["data"]["dur_s"] == pytest.approx(0.75)
+
+    def test_rerun_is_byte_identical(self, faulty):
+        again = run_health_scenario({"mode": "faulty"}, seed=0)
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            faulty, sort_keys=True)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_health_scenario({"mode": "chaotic"}, seed=0)
+
+
+class TestBackendEquivalence:
+    def test_serial_vs_four_workers_byte_identical(self, faulty):
+        spec = get_experiment("health.scenario").spec(
+            seed=0, mode="faulty")
+        result = Runner(cache=None, backend="process", max_workers=4).run(
+            [spec] * 2)
+        blobs = {json.dumps(p, sort_keys=True) for p in result.payloads}
+        assert blobs == {json.dumps(faulty, sort_keys=True)}
+
+
+# ----------------------------------------------------------------------
+# Runner(health=True): report + artifacts
+# ----------------------------------------------------------------------
+class TestRunnerHealth:
+    def test_health_requires_trace_dir(self):
+        from repro.core.errors import EngineError
+
+        with pytest.raises(EngineError):
+            Runner(health=True)
+
+    def test_health_run_writes_artifacts_and_report(self, tmp_path, faulty):
+        spec = get_experiment("health.scenario").spec(seed=0, mode="faulty")
+        runner = Runner(cache=None, trace_dir=str(tmp_path), health=True)
+        result = runner.run([spec])
+        report = result.health_report
+        assert report is not None
+        assert report.exit_code == ERROR_EXIT_CODE
+        # the ambient engine saw the same incidents the payload reports
+        assert [i.to_dict() for i in report.incidents] == \
+            faulty["incidents"]
+        artifacts = result.manifest.artifacts
+        assert set(artifacts) == {"trace", "metrics", "events",
+                                  "health", "prometheus"}
+        health_body = json.loads(open(artifacts["health"]).read())
+        assert health_body["incidents"] == faulty["incidents"]
+        assert "# TYPE health_samples counter" in \
+            open(artifacts["prometheus"]).read()
+        # incident spans ride the dedicated chrome-trace track
+        trace = json.loads(open(artifacts["trace"]).read())
+        tracks = {e["args"]["name"] for e in trace["traceEvents"]
+                  if e["ph"] == "M"}
+        assert "health" in tracks
+
+    def test_replay_of_trace_dir_reproduces_live_verdicts(
+            self, tmp_path, faulty):
+        spec = get_experiment("health.scenario").spec(seed=0, mode="faulty")
+        runner = Runner(cache=None, trace_dir=str(tmp_path), health=True)
+        live = runner.run([spec]).health_report
+        replayed = replay_trace_dir(str(tmp_path))
+        assert [i.to_dict() for i in replayed.incidents] == \
+            [i.to_dict() for i in live.incidents]
+
+    def test_replay_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            replay_trace_dir(str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestHealthCli:
+    def test_faulty_exits_error_code(self, tmp_path, capsys):
+        code = main(["health", "--set", "mode=faulty",
+                     "--out-dir", str(tmp_path)])
+        assert code == ERROR_EXIT_CODE
+        out = capsys.readouterr().out
+        assert "UNHEALTHY" in out
+        assert "health.failover_slo" in out
+
+    def test_clean_exits_zero_json(self, tmp_path, capsys):
+        code = main(["health", "--set", "mode=clean", "--format", "json",
+                     "--out-dir", str(tmp_path)])
+        assert code == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["incidents"] == []
+
+    def test_replay_mode(self, tmp_path, capsys):
+        assert main(["health", "--set", "mode=faulty",
+                     "--out-dir", str(tmp_path)]) == ERROR_EXIT_CODE
+        capsys.readouterr()
+        code = main(["health", "--replay", str(tmp_path)])
+        assert code == ERROR_EXIT_CODE
+        assert "health.hotspot" in capsys.readouterr().out
+
+    def test_replay_empty_dir_is_a_clear_error(self, tmp_path, capsys):
+        code = main(["health", "--replay", str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_experiment_is_a_clear_error(self, capsys):
+        code = main(["health", "no.such.exp"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCliValidation:
+    def test_trace_exits_nonzero_on_invalid_trace(
+            self, tmp_path, monkeypatch, capsys):
+        import repro.obs
+
+        monkeypatch.setattr(repro.obs, "validate_chrome_trace",
+                            lambda data: ["event 0 has no name"])
+        code = main(["trace", "health.scenario", "--set", "mode=clean",
+                     "--out-dir", str(tmp_path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "invalid Chrome trace" in err
+        assert "event 0 has no name" in err
+
+    def test_trace_valid_run_exits_zero(self, tmp_path, capsys):
+        code = main(["trace", "health.scenario", "--set", "mode=clean",
+                     "--out-dir", str(tmp_path)])
+        assert code == 0
+        assert "traced in" in capsys.readouterr().out

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.obs import (
+    FRACTION_BUCKETS,
     Counter,
     EventLog,
     Gauge,
@@ -65,6 +66,33 @@ class TestRingBuffer:
         assert a == b
         assert a != [2, 1]
 
+    def test_wraparound_many_times_keeps_newest_window(self):
+        ring = RingBuffer(max_entries=4)
+        for i in range(1000):
+            ring.append(i)
+        assert len(ring) == 4
+        assert list(ring) == [996, 997, 998, 999]
+        assert ring.rolled_off == 996
+        # reads stay list-like after heavy wraparound
+        assert ring[0] == 996
+        assert ring[-1] == 999
+        assert ring[1:3] == [997, 998]
+
+    def test_wraparound_extend_larger_than_bound(self):
+        ring = RingBuffer(max_entries=3)
+        ring.extend(range(10))  # one extend >> bound
+        assert list(ring) == [7, 8, 9]
+        ring.extend(range(100, 104))
+        assert list(ring) == [101, 102, 103]
+        assert ring.rolled_off == 11
+
+    def test_wraparound_bound_of_one(self):
+        ring = RingBuffer(max_entries=1)
+        for ch in "abc":
+            ring.append(ch)
+        assert list(ring) == ["c"]
+        assert ring.rolled_off == 2
+
 
 # ----------------------------------------------------------------------
 # metrics
@@ -105,6 +133,18 @@ class TestMetrics:
         assert g.value == 7.0
         assert len(g.samples) == 0
 
+    def test_gauge_retention_bounded_under_heavy_sampling(self):
+        reg = MetricsRegistry(max_samples_per_series=16)
+        g = reg.gauge("util", tier="agg")
+        for i in range(10_000):
+            g.set(i / 10_000.0, ts_s=float(i))
+        assert g.value == pytest.approx(0.9999)
+        assert len(g.samples) == 16
+        # newest window survives, oldest rolled off
+        assert g.samples[0][0] == 9984.0
+        assert g.samples[-1][0] == 9999.0
+        assert g.samples.rolled_off == 10_000 - 16
+
     def test_histogram_buckets_and_stats(self):
         reg = MetricsRegistry()
         h = reg.histogram("lat", buckets=(1.0, 10.0))
@@ -129,6 +169,23 @@ class TestMetrics:
         reg.counter("b")
         reg.counter("a")
         assert [m.series for m in reg.series()] == ["a", "b"]
+
+    def test_recorder_histogram_forwards_buckets(self):
+        # regression: Recorder.histogram used to drop the buckets
+        # param, silently falling back to the seconds decades
+        rec = Recorder()
+        h = rec.histogram("sim.dirty_frac", buckets=FRACTION_BUCKETS)
+        assert tuple(h.buckets) == tuple(FRACTION_BUCKETS)
+        h.observe(0.07)
+        assert h.bucket_counts[2] == 1  # the (0.05, 0.1] bin
+
+    def test_fraction_buckets_resolve_zero_to_one_signals(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("util", buckets=FRACTION_BUCKETS)
+        for v in (0.005, 0.3, 0.8, 0.95, 1.0):
+            h.observe(v)
+        # five distinct bins, not the two a seconds scale would give
+        assert sum(1 for c in h.bucket_counts if c) == 5
 
 
 # ----------------------------------------------------------------------

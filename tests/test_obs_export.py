@@ -4,15 +4,21 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.obs import (
+    FRACTION_BUCKETS,
     Recorder,
     chrome_trace,
     load_events_jsonl,
+    parse_prometheus_text,
+    prometheus_exposition,
     summary_table,
     validate_chrome_trace,
     write_chrome_trace,
     write_events_jsonl,
     write_metrics_snapshot,
+    write_prometheus,
 )
 
 
@@ -126,3 +132,88 @@ def test_validate_flags_malformed():
     ]}
     problems = validate_chrome_trace(bad)
     assert len(problems) == 4
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def test_prometheus_round_trip_counters_and_gauges():
+    rec = Recorder()
+    rec.counter("health.samples").inc(7)
+    rec.gauge("health.tier_util", tier="agg").set(0.123456789012345)
+    rec.gauge("health.tier_util", tier="access").set(1.0)
+    text = prometheus_exposition(rec)
+    parsed = parse_prometheus_text(text)
+    assert parsed["health_samples"]["type"] == "counter"
+    assert parsed["health_samples"]["samples"] == [
+        ("health_samples", {}, 7.0)]
+    util = parsed["health_tier_util"]
+    assert util["type"] == "gauge"
+    # repr() serialization: the float survives exactly
+    assert util["samples"] == [
+        ("health_tier_util", {"tier": "access"}, 1.0),
+        ("health_tier_util", {"tier": "agg"}, 0.123456789012345),
+    ]
+
+
+def test_prometheus_histogram_is_cumulative():
+    rec = Recorder()
+    h = rec.histogram("health.link_util_frac",
+                      buckets=FRACTION_BUCKETS, tier="tor")
+    for v in (0.02, 0.6, 0.97, 1.0):
+        h.observe(v)
+    parsed = parse_prometheus_text(prometheus_exposition(rec))
+    family = parsed["health_link_util_frac"]
+    assert family["type"] == "histogram"
+    by_name = {}
+    for name, labels, value in family["samples"]:
+        by_name.setdefault(name, []).append((labels, value))
+    buckets = {labels["le"]: value
+               for labels, value in by_name["health_link_util_frac_bucket"]}
+    # cumulative counts, closing with the +Inf catch-all
+    assert buckets["0.01"] == 0
+    assert buckets["0.75"] == 2
+    assert buckets["1.0"] == 4
+    assert buckets["+Inf"] == 4
+    assert by_name["health_link_util_frac_sum"][0][1] == pytest.approx(2.59)
+    assert by_name["health_link_util_frac_count"][0][1] == 4
+
+
+def test_prometheus_label_escaping_round_trips():
+    rec = Recorder()
+    rec.gauge("g", link='a"b\\c\nd').set(2.0)
+    parsed = parse_prometheus_text(prometheus_exposition(rec))
+    (name, labels, value) = parsed["g"]["samples"][0]
+    assert labels == {"link": 'a"b\\c\nd'}
+    assert value == 2.0
+
+
+def test_prometheus_type_line_once_per_family():
+    rec = Recorder()
+    rec.gauge("health.plane_util", plane="0").set(0.5)
+    rec.gauge("health.plane_util", plane="1").set(0.6)
+    text = prometheus_exposition(rec)
+    assert text.count("# TYPE health_plane_util gauge") == 1
+
+
+def test_prometheus_non_finite_values():
+    rec = Recorder()
+    rec.gauge("pos").set(float("inf"))
+    rec.gauge("neg").set(float("-inf"))
+    text = prometheus_exposition(rec)
+    parsed = parse_prometheus_text(text)
+    assert parsed["pos"]["samples"][0][2] == float("inf")
+    assert parsed["neg"]["samples"][0][2] == float("-inf")
+
+
+def test_write_prometheus_file(tmp_path):
+    rec = Recorder()
+    rec.counter("n").inc()
+    path = write_prometheus(rec, str(tmp_path / "m.prom"))
+    assert parse_prometheus_text(open(path).read())["n"]["samples"] == [
+        ("n", {}, 1.0)]
+
+
+def test_prometheus_empty_recorder_is_empty_text():
+    assert prometheus_exposition(Recorder()) == ""
+    assert parse_prometheus_text("") == {}

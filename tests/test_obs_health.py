@@ -1,0 +1,284 @@
+"""repro.obs.health: incidents, detectors, hub, engine, replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import HealthConfig, HealthEngine, HealthReport, Recorder
+from repro.obs.health import (
+    ERROR,
+    RULE_FAILOVER_SLO,
+    RULE_HOTSPOT,
+    RULE_INTERFERENCE,
+    RULE_POLARIZATION,
+    WARNING,
+    FailoverSloDetector,
+    HotspotDetector,
+    Incident,
+    InterferenceDetector,
+    replay,
+)
+
+
+def _collect():
+    incidents = []
+    return incidents, incidents.append
+
+
+# ----------------------------------------------------------------------
+# Incident
+# ----------------------------------------------------------------------
+class TestIncident:
+    def test_round_trip(self):
+        inc = Incident(rule=RULE_HOTSPOT, severity=WARNING, subject="l0",
+                       start_s=1.0, end_s=2.5, message="hot",
+                       data={"peak": 1.0})
+        again = Incident.from_dict(inc.to_dict())
+        assert again == inc
+        assert again.duration_s == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Incident(rule=RULE_HOTSPOT, severity="fatal", subject="x",
+                     start_s=0.0, end_s=1.0, message="m")
+        with pytest.raises(ValueError):
+            Incident(rule=RULE_HOTSPOT, severity=WARNING, subject="x",
+                     start_s=2.0, end_s=1.0, message="m")
+
+    def test_sort_key_orders_by_time_then_rule(self):
+        a = Incident(rule="health.b", severity=WARNING, subject="x",
+                     start_s=0.0, end_s=1.0, message="m")
+        b = Incident(rule="health.a", severity=WARNING, subject="x",
+                     start_s=0.0, end_s=1.0, message="m")
+        c = Incident(rule="health.a", severity=WARNING, subject="x",
+                     start_s=0.5, end_s=1.0, message="m")
+        assert sorted([c, a, b], key=lambda i: i.sort_key()) == [b, a, c]
+
+
+# ----------------------------------------------------------------------
+# streak detectors
+# ----------------------------------------------------------------------
+class TestHotspotStreaks:
+    def cfg(self):
+        return HealthConfig(hotspot_util=0.9, hotspot_min_s=1.0)
+
+    def test_sustained_streak_emits_on_close(self):
+        incidents, emit = _collect()
+        det = HotspotDetector(self.cfg(), emit)
+        det.observe(0.0, "l0", 0.95)
+        det.observe(0.6, "l0", 1.0)
+        assert incidents == []  # still open
+        det.observe(1.5, "l0", 0.2)  # closes: 1.5s >= 1.0s minimum
+        (inc,) = incidents
+        assert inc.rule == RULE_HOTSPOT
+        assert inc.subject == "l0"
+        assert inc.start_s == 0.0
+        assert inc.end_s == 1.5
+        assert inc.data["peak"] == 1.0
+        assert inc.data["samples"] == 2
+
+    def test_short_blip_is_not_an_incident(self):
+        # every max-min bottleneck touches 100% momentarily
+        incidents, emit = _collect()
+        det = HotspotDetector(self.cfg(), emit)
+        det.observe(0.0, "l0", 1.0)
+        det.observe(0.4, "l0", 0.1)
+        assert incidents == []
+
+    def test_below_threshold_never_opens(self):
+        incidents, emit = _collect()
+        det = HotspotDetector(self.cfg(), emit)
+        for t in range(5):
+            det.observe(float(t), "l0", 0.5)
+        det.close_all(10.0)
+        assert incidents == []
+
+    def test_subjects_tracked_independently(self):
+        incidents, emit = _collect()
+        det = HotspotDetector(self.cfg(), emit)
+        det.observe(0.0, "a", 0.99)
+        det.observe(0.0, "b", 0.99)
+        det.observe(2.0, "a", 0.0)
+        assert det.open_subjects() == ["b"]
+        det.close_all(3.0)
+        assert sorted(i.subject for i in incidents) == ["a", "b"]
+
+    def test_close_all_respects_min_duration(self):
+        incidents, emit = _collect()
+        det = HotspotDetector(self.cfg(), emit)
+        det.observe(0.0, "l0", 0.99)
+        det.close_all(0.2)  # flushed early: too short to matter
+        assert incidents == []
+
+
+class TestInterference:
+    def test_over_budget_fires_instant(self):
+        incidents, emit = _collect()
+        det = InterferenceDetector(HealthConfig(interference_budget=1.5),
+                                   emit)
+        det.observe_snapshot(10.0, "job3", 1.4)
+        assert incidents == []
+        det.observe_snapshot(20.0, "job3", 2.0, snapshot_index=1)
+        (inc,) = incidents
+        assert inc.rule == RULE_INTERFERENCE
+        assert inc.start_s == inc.end_s == 20.0
+        assert inc.data["snapshot"] == 1
+
+
+class TestFailoverSlo:
+    def test_scans_failover_track_spans(self):
+        rec = Recorder()
+        rec.events.span("bgp.blackhole", 1.0, 1.8, track="failover",
+                        link_id=7)
+        rec.events.span("bgp.blackhole", 3.0, 3.2, track="failover",
+                        link_id=8)  # within SLO
+        rec.events.span("bgp.blackhole", 5.0, 9.0, track="other")
+        rec.events.instant("bgp.blackhole", 6.0, track="failover")
+        incidents, emit = _collect()
+        det = FailoverSloDetector(HealthConfig(failover_slo_s=0.5), emit)
+        det.scan_events(rec.events)
+        (inc,) = incidents
+        assert inc.rule == RULE_FAILOVER_SLO
+        assert inc.severity == ERROR
+        assert inc.subject == "link_id=7"
+        assert inc.data["dur_s"] == pytest.approx(0.8)
+
+
+# ----------------------------------------------------------------------
+# engine + hub
+# ----------------------------------------------------------------------
+class TestHealthEngine:
+    def test_requires_enabled_recorder(self):
+        with pytest.raises(ValueError):
+            HealthEngine(None)
+
+    def test_attach_detach(self):
+        rec = Recorder()
+        engine = HealthEngine(rec).attach()
+        assert rec.health is engine.hub
+        assert rec.health.engine is engine
+        engine.detach()
+        assert rec.health is None
+
+    def test_configure_rejects_unknown_field(self):
+        engine = HealthEngine(Recorder())
+        engine.configure(hotspot_min_s=2.0)
+        assert engine.config.hotspot_min_s == 2.0
+        with pytest.raises(TypeError):
+            engine.configure(no_such_knob=1)
+
+    def test_wants_sample_decimation(self):
+        engine = HealthEngine(Recorder())
+        engine.configure(sample_every=3)
+        hub = engine.hub
+        got = [hub.wants_sample() for _ in range(7)]
+        assert got == [True, False, False, True, False, False, True]
+
+    def test_suspended_blocks_sampling(self):
+        engine = HealthEngine(Recorder())
+        engine.configure(sample_every=1)
+        hub = engine.hub
+        with hub.suspended():
+            assert not hub.wants_sample()
+            hub.sample_fleet(5.0, 3, 1)
+        assert hub.wants_sample()
+        assert len(engine.recorder.metrics) == 1  # health.samples only
+
+    def test_timeline_reset_flushes_streaks(self):
+        engine = HealthEngine(Recorder())
+        hub = engine.hub
+        engine.hotspot.observe(0.0, "l0", 0.99)
+        engine.hotspot.observe(1.2, "l0", 0.99)
+        hub.last_now = 1.2
+        hub._advance_timeline(0.0)  # a new sim's clock starts over
+        (inc,) = engine.incidents
+        assert inc.rule == RULE_HOTSPOT
+        assert inc.end_s == 1.2
+        assert engine.hotspot.open_subjects() == []
+
+    def test_finalize_idempotent_and_emits_track(self):
+        rec = Recorder()
+        engine = HealthEngine(rec).attach()
+        engine.hotspot.observe(0.0, "l0", 0.99)
+        engine.hub.last_now = 2.0
+        report = engine.finalize()
+        assert engine.finalize() is report
+        assert isinstance(report, HealthReport)
+        assert report.error_count == 0
+        assert report.warning_count == 1
+        spans = [e for e in rec.events if e.track == "health"]
+        assert [e.name for e in spans] == [RULE_HOTSPOT]
+        assert spans[0].args["severity"] == WARNING
+
+    def test_incident_counter_recorded(self):
+        rec = Recorder()
+        engine = HealthEngine(rec)
+        engine.interference.observe_snapshot(1.0, "job0", 99.0)
+        series = [m.series for m in rec.metrics.series()]
+        assert ("health.incidents{rule=health.interference,"
+                "severity=warning}") in series
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+class TestHealthReport:
+    def _report(self, severities):
+        incidents = [
+            Incident(rule=RULE_HOTSPOT, severity=sev, subject=f"s{i}",
+                     start_s=float(i), end_s=float(i + 1), message="m")
+            for i, sev in enumerate(severities)
+        ]
+        return HealthReport(incidents=incidents, series_count=1,
+                            event_count=2, finalized_at_s=9.0)
+
+    def test_exit_code_three_on_error(self):
+        assert self._report([WARNING, ERROR]).exit_code == 3
+        assert self._report([WARNING]).exit_code == 0
+        assert self._report([]).ok
+
+    def test_round_trip_and_render(self):
+        report = self._report([ERROR])
+        again = HealthReport.from_jsonable(report.to_jsonable())
+        assert again.incidents == report.incidents
+        text = report.render_text()
+        assert "UNHEALTHY" in text
+        assert "health.hotspot" in text
+        assert "HEALTHY" in self._report([]).render_text()
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+class TestReplay:
+    def test_replay_reproduces_streak_verdicts(self):
+        # live side: drive detectors through recorded health.* series
+        rec = Recorder()
+        engine = HealthEngine(rec).attach()
+        for ts, value in [(0.0, 1.0), (0.8, 1.0), (1.6, 0.3)]:
+            rec.metrics.gauge("health.link_util", link="a->b").set(
+                value, ts_s=ts)
+            engine.hotspot.observe(ts, "a->b", value)
+        rec.events.span("bgp.blackhole", 0.2, 1.0, track="failover",
+                        link_id=4)
+        live = engine.finalize()
+        assert {i.rule for i in live.incidents} == {
+            RULE_HOTSPOT, RULE_FAILOVER_SLO}
+
+        replayed = replay(list(rec.events), rec.metrics.snapshot())
+        assert replayed.incidents == live.incidents
+
+    def test_replay_accepts_full_snapshot_wrapper(self):
+        rec = Recorder()
+        rec.metrics.gauge("health.fleet_slowdown", job="job1").set(
+            3.0, ts_s=5.0)
+        report = replay([], {"metrics": rec.metrics.snapshot()})
+        (inc,) = report.incidents
+        assert inc.rule == RULE_INTERFERENCE
+        assert inc.subject == "job1"
+
+    def test_replay_ignores_unrelated_series(self):
+        rec = Recorder()
+        rec.metrics.gauge("link_util", tier="agg").set(1.0, ts_s=1.0)
+        rec.metrics.counter("sim.solves").inc()
+        assert replay([], rec.metrics.snapshot()).incidents == []

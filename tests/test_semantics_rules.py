@@ -340,6 +340,47 @@ class TestSem004:
         report = analyze_project([REPO_SRC], rule_ids=["SEM004"])
         assert report.active == []
 
+    def test_dotted_subpackage_key_overrides_parent(self, tmp_path):
+        # plain obs may import engine (overhead bench); obs.health has
+        # its own, stricter entry with engine deliberately absent
+        files = {
+            "engine/runner.py": "class R:\n    pass\n",
+            "obs/export.py": "from ..engine.runner import R\n",
+            "obs/health/detectors.py": (
+                "from ...engine.runner import R\n"
+            ),
+        }
+        hits = run_rules(tmp_path, files, rules=["SEM004"]).active
+        assert [d.rule_id for d in hits] == ["SEM004"]
+        assert "'obs.health' imports 'engine'" in hits[0].message
+        assert hits[0].location.file.endswith("detectors.py")
+
+    def test_obs_health_simulation_edges_allowed(self, tmp_path):
+        files = {
+            "fleet/sim.py": "class F:\n    pass\n",
+            "obs/metrics.py": "class M:\n    pass\n",
+            "obs/health/scenario.py": (
+                "from ...fleet.sim import F\n"
+                "from ..metrics import M\n"
+            ),
+        }
+        assert run_rules(tmp_path, files, rules=["SEM004"]).active == []
+
+    def test_obs_health_never_imports_engine_in_real_tree(self):
+        # regression for the replay-anywhere guarantee: detectors (and
+        # everything else under obs.health) must not depend on the
+        # engine layer -- the engine calls into obs.health, never back
+        index = ProjectIndex(REPO_SRC)
+        health_modules = [m for m in index.modules.values()
+                          if m.name.startswith("repro.obs.health")]
+        assert health_modules, "obs.health missing from the index"
+        for mod in health_modules:
+            engine_edges = [t for t in mod.import_edges
+                            if t.startswith("repro.engine")]
+            assert engine_edges == [], (
+                f"{mod.name} imports {engine_edges}"
+            )
+
 
 # ----------------------------------------------------------------------
 # SEM005: recorder hot-path discipline
