@@ -1,14 +1,20 @@
-"""Solver-core perf gate: incremental engine vs full-solve baseline.
+"""Solver-core perf gates: each engine family vs its baseline.
 
-Two tiers of the same ``bench.simcore`` reference shape (one HPN
-segment, dual-plane rail-optimized AllReduce over many steps, an
-access-link failure/repair injected mid-run):
+Tiers of the ``bench.simcore`` benchmark:
 
-* **smoke** (always on): ~1k flows, sub-second -- catches equivalence
-  drift and gross perf regressions on every run;
+* **smoke** (always on): the reference shape at ~1k flows,
+  sub-second -- catches equivalence drift and gross perf regressions
+  on every run;
 * **reference** (``REPRO_PERF_FULL=1``): the paper-scale >=20k-flow
-  workload the CI ``perf-smoke`` job gates on (the full baseline alone
-  takes minutes, so it is opt-in locally).
+  workload the CI ``perf-smoke`` job gates on (incremental >=3x over
+  the full-solve baseline; the full baseline alone takes minutes, so
+  it is opt-in locally);
+* **pod_smoke** / **multipod** (always on): a downscaled Pod
+  allreduce window and the 3-Pod §7 PP workload -- byte-exact
+  three-engine equivalence plus the per-component oracle drift check;
+* **pod** (``REPRO_PERF_FULL=1``): the full 15,360-GPU Pod window the
+  CI ``perf-smoke`` job gates on (vectorized >=3x over incremental,
+  oracle drift <=1e-9).
 
 Each tier appends its payload to ``BENCH_simcore.json`` in the bench
 artifact dir (``REPRO_BENCH_DIR``, default ``benchmarks/.artifacts``)
@@ -24,10 +30,12 @@ import os
 import pytest
 from conftest import report
 
-from repro.fabric.simbench import EQUIVALENCE_TOL, run_simcore
+from repro.fabric.simbench import EQUIVALENCE_TOL, run_pod_tier, run_simcore
 
 #: the CI gate -- the incremental engine must beat the pre-existing
-#: full-solve path by at least this factor on the reference workload
+#: full-solve path by at least this factor on the reference workload,
+#: and the vectorized kernel must beat the incremental engine by the
+#: same factor on the pod tier
 MIN_SPEEDUP = 3.0
 
 SMOKE_PARAMS = {
@@ -39,6 +47,11 @@ REFERENCE_PARAMS = {
     "hosts": 16, "conns": 2, "steps": 80, "step_gap_s": 0.004,
     "edge_mb": 24, "jitter": 0.05, "fail_at_s": 0.05,
     "repair_at_s": 0.12, "repeat": 1,
+}
+#: downscaled Pod window (4 segments x 24 hosts): correctness always-on
+POD_SMOKE_PARAMS = {
+    "segments": 4, "hosts_per_segment": 24, "aggs_per_plane": 8,
+    "edge_mb": 8.0, "window_s": 0.0015,
 }
 
 
@@ -98,8 +111,71 @@ def _check(tier: str, payload, min_flows: int) -> None:
     assert payload["solver"]["incremental_solves"] > payload["solver"]["full_solves"]
 
 
+def _check_pod(tier: str, payload, min_flows: int,
+               gate_speedup: bool) -> None:
+    """Gate a pod/multipod payload: equivalence, oracle, speedup."""
+    eq = payload["equivalence"]
+    oracle = payload["oracle"]
+    report(
+        f"bench.simcore [{tier}]",
+        [
+            f"flows            {payload['flows']}",
+            f"incremental      {payload['incremental_wall_s'] * 1e3:9.1f} ms",
+            f"vectorized       {payload['vectorized_wall_s'] * 1e3:9.1f} ms",
+            f"sharded          {payload['sharded_wall_s'] * 1e3:9.1f} ms",
+            f"speedup          {payload['speedup']:9.2f}x"
+            + (f" (gate >= {MIN_SPEEDUP}x)" if gate_speedup else ""),
+            f"kernel iters     {payload['solver']['kernel_iters']}",
+            f"shard solves     {payload['shards']['shard_solves']}",
+            f"max rate err     {eq['max_rate_err_gbps']:.3e} Gbps (byte gate)",
+            f"oracle drift     {oracle['max_rate_drift_gbps']:.3e} Gbps over "
+            f"{oracle['flows_checked']} flows / {oracle['components']} comps",
+            f"recorded in      {_record(tier, payload)}",
+        ],
+    )
+    assert payload["flows"] >= min_flows
+    assert eq["ok"], (
+        f"engine divergence: {eq['one_sided_finishes']} one-sided, "
+        f"finish rel err {eq['max_finish_rel_err']:.3e}, "
+        f"rate err {eq['max_rate_err_gbps']:.3e}"
+    )
+    # the three incremental-family engines must agree byte-for-byte
+    assert eq["max_finish_rel_err"] == 0.0
+    assert eq["max_rate_err_gbps"] == 0.0
+    assert oracle["ok"], (
+        f"oracle drift {oracle['max_rate_drift_gbps']:.3e} Gbps "
+        f"(tol {oracle['tol']})"
+    )
+    assert oracle["flows_checked"] > 0
+    assert payload["shards"]["kernel_iters"] == (
+        payload["solver"]["kernel_iters"]
+    )
+    if gate_speedup:
+        assert payload["speedup"] >= MIN_SPEEDUP, (
+            f"vectorized kernel only {payload['speedup']:.2f}x over the "
+            f"incremental baseline (gate: {MIN_SPEEDUP}x)"
+        )
+
+
 def test_simcore_smoke():
     _check("smoke", run_simcore(dict(SMOKE_PARAMS), seed=7), min_flows=1000)
+
+
+def test_simcore_pod_smoke():
+    """Downscaled Pod window: too small for the kernels to win on
+    wall-clock, so only the correctness gates apply here."""
+    _check_pod(
+        "pod_smoke", run_pod_tier(dict(POD_SMOKE_PARAMS), 7, "pod"),
+        min_flows=500, gate_speedup=False,
+    )
+
+
+def test_simcore_multipod():
+    """3-Pod §7 PP workload, run to completion under all engines."""
+    _check_pod(
+        "multipod", run_pod_tier({}, 42, "multipod"),
+        min_flows=1000, gate_speedup=False,
+    )
 
 
 @pytest.mark.skipif(
@@ -111,4 +187,18 @@ def test_simcore_reference():
     _check(
         "reference", run_simcore(dict(REFERENCE_PARAMS), seed=7),
         min_flows=20000,
+    )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_PERF_FULL", "0") != "1",
+    reason="full-Pod tier takes ~2 minutes; set REPRO_PERF_FULL=1 "
+    "(CI perf-smoke runs it via `repro exp run bench.simcore "
+    "--set tier=pod`)",
+)
+def test_simcore_pod():
+    """Full 15,360-GPU Pod window: the vectorized >=3x CI gate."""
+    _check_pod(
+        "pod", run_pod_tier({}, 42, "pod"),
+        min_flows=15000, gate_speedup=True,
     )

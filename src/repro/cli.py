@@ -25,6 +25,7 @@ command is a thin veneer over the public API.
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 from typing import List, Optional
 
@@ -409,7 +410,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def _parse_param_value(text: str):
-    """CLI param literal -> typed value (bool/int/float/str)."""
+    """CLI param literal -> typed value (bool/int/float/dict/list/str)."""
     lowered = text.lower()
     if lowered in ("true", "false"):
         return lowered == "true"
@@ -418,6 +419,12 @@ def _parse_param_value(text: str):
             return cast(text)
         except ValueError:
             continue
+    if text[:1] in ("{", "["):
+        # structured params, e.g. --set "tier_params={'edge_mb': 32}"
+        try:
+            return ast.literal_eval(text)
+        except (ValueError, SyntaxError):
+            pass
     return text
 
 

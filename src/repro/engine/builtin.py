@@ -227,13 +227,37 @@ def bench_allreduce(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
     defaults={
         "hosts": 16, "conns": 2, "steps": 80, "step_gap_s": 0.004,
         "edge_mb": 24, "jitter": 0.05, "fail_at_s": 0.05,
-        "repair_at_s": 0.12, "repeat": 1,
+        "repair_at_s": 0.12, "repeat": 1, "tier": "reference",
+        # pod/multipod workload overrides live under their own key so
+        # the reference defaults above never leak into those tiers
+        "tier_params": {},
     },
 )
 def bench_simcore(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
-    from ..fabric.simbench import run_simcore
+    from ..fabric.simbench import run_pod_tier, run_simcore
 
+    tier = str(params.get("tier", "reference"))
+    if tier in ("pod", "multipod"):
+        return run_pod_tier(dict(params.get("tier_params") or {}),
+                            seed, tier)
     return run_simcore(dict(params), seed)
+
+
+# ----------------------------------------------------------------------
+# solver shard: one component waterfill (sharded-solver fan-out unit)
+# ----------------------------------------------------------------------
+@experiment(
+    "solver.shard",
+    "One max-min waterfill over a component snapshot payload (the "
+    "fan-out unit the sharded solver dispatches to process workers)",
+    defaults={"shard": {"flow_ids": [], "raw_dirlinks": [], "caps": [],
+                        "weights": [], "f_indptr": [0], "f_links": [],
+                        "f_mults": []}},
+)
+def solver_shard(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
+    from ..fabric.kernel import solve_shard
+
+    return solve_shard(dict(params), seed)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,33 @@
+"""Optional-numpy import guard for the fabric solver kernels.
+
+The vectorized waterfill kernel (:mod:`repro.fabric.kernel`) runs on
+numpy when it is importable and falls back to a pure-Python
+implementation of the *same* canonical fill order otherwise -- the two
+paths are differentially tested to be byte-identical, so numpy is a
+perf extra (``pip install repro[fast]``), never a correctness
+dependency.
+
+Importing this module never raises. ``np`` is the numpy module or
+``None``; ``HAVE_NUMPY`` is the boolean gate hot paths branch on once.
+Setting ``REPRO_NO_NUMPY=1`` in the environment forces the fallback
+even when numpy is installed -- the CI leg proving the pure-Python
+path stays green uses it, and tests monkeypatch the same switch.
+"""
+
+from __future__ import annotations
+
+import os
+
+np = None
+if os.environ.get("REPRO_NO_NUMPY", "0") != "1":
+    try:  # pragma: no cover - exercised via both CI legs
+        import numpy as np  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover
+        np = None
+
+HAVE_NUMPY = np is not None
+
+
+def numpy_or_none():
+    """The numpy module when usable, else ``None`` (call-site gate)."""
+    return np

@@ -1,0 +1,161 @@
+"""Plane-sharded max-min solves through the engine process pool.
+
+Progressive filling decomposes exactly over connected components of
+the flow<->link incidence graph (the invariant the incremental solver
+already exploits): flows in disjoint components cannot influence each
+other, and the canonical fill order (:mod:`repro.fabric.kernel`) makes
+per-component solves *byte-identical* to a merged solve -- within a
+component the same IEEE-double operations run in the same sequence
+regardless of interleaving.
+
+The paper's fabric hands us the components: the two tier-2 planes are
+physically disjoint (§6), and a rail-optimized collective keeps every
+rail's traffic on its own plane -- so a full-Pod workload naturally
+splits into per-plane / per-segment shards. :class:`ShardedSolver`
+partitions the dirty set into its disjoint components
+(:meth:`IncidenceIndex.components`), snapshots each into flat CSR
+arrays, and solves them either in-process (``backend="serial"``) or by
+dispatching ``solver.shard`` experiments through the engine
+:class:`~repro.engine.runner.Runner` process pool
+(``backend="process"``). Shard payloads are pure values and the kernel
+is deterministic, so both backends splice byte-identical rates --
+asserted by the three-engine equivalence campaign.
+
+Stats keep the *serial solver's* accounting: one
+``active_flow_boundaries`` bump per solve boundary (never per shard),
+with ``resolved_flows`` summed across shards, so
+:attr:`SolverStats.mean_dirty_frac` aggregates to the same global
+fraction the unsharded engines report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .kernel import ComponentSnapshot, build_snapshot, waterfill
+from .solver import _NOOP, IncrementalMaxMinSolver, SolveOutcome
+
+BACKENDS = ("serial", "process")
+
+
+class ShardedSolver(IncrementalMaxMinSolver):
+    """Component-sharded solver over the vectorized kernel.
+
+    Same event machinery and full-solve threshold semantics as the
+    base class, but :meth:`solve` keeps the dirty set's disjoint
+    components separate and solves each as its own shard. On full
+    fallback the *entire* active set is partitioned into its natural
+    components -- at Pod scale that is where sharding wins, since a
+    15-segment allreduce is hundreds of independent rings.
+
+    ``backend="process"`` routes shards through the engine Runner's
+    process pool (``max_workers``); per-iteration ``on_bottleneck``
+    hooks cannot cross process boundaries and are skipped there
+    (iteration *counts* still aggregate exactly).
+    """
+
+    def __init__(
+        self,
+        link_gbps: Callable[[int], float],
+        full_threshold: float = 0.5,
+        on_bottleneck: Optional[Callable[[int, float, int], None]] = None,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {backend!r} "
+                f"(expected one of {', '.join(BACKENDS)})"
+            )
+        super().__init__(link_gbps, full_threshold, on_bottleneck)
+        self.backend = backend
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def solve(self) -> SolveOutcome:
+        self._dirty_links.update(
+            self.index.refresh_capacities(self._link_gbps)
+        )
+        n_active = len(self.index.flows)
+        if not self._dirty_flows and not self._dirty_links:
+            self.stats.noop_solves += 1
+            return _NOOP
+        stats = self.stats
+        stats.active_flow_boundaries += n_active
+        comps = self.index.components(
+            self._dirty_flows, self._dirty_links
+        )
+        self._dirty_flows.clear()
+        self._dirty_links.clear()
+        limit = int(self.full_threshold * n_active)
+        total = sum(len(flows) for flows, _links in comps)
+        mode = "incremental"
+        if total > limit:
+            # full fallback, still sharded: the whole active set
+            # partitioned into its natural components (same decision
+            # boundary as the serial solver's BFS abort)
+            comps = self.index.components(self.index.flows, ())
+            mode = "full"
+        snaps = [
+            build_snapshot(self.index, flows) for flows, _links in comps
+        ]
+        touched = frozenset(
+            fid for snap in snaps for fid in snap.flow_ids
+        )
+        iters = self._solve_shards(snaps)
+        if mode == "full":
+            stats.full_solves += 1
+        else:
+            stats.incremental_solves += 1
+        stats.resolved_flows += len(touched)
+        stats.kernel_iters += iters
+        stats.shard_solves += len(snaps)
+        frac = 1.0 if mode == "full" else (
+            len(touched) / n_active if n_active else 0.0
+        )
+        return SolveOutcome(mode, touched, frac, kernel_iters=iters,
+                            shards=len(snaps))
+
+    # ------------------------------------------------------------------
+    def _solve_shards(self, snaps: List[ComponentSnapshot]) -> int:
+        """Solve every shard, splice rates; returns total iterations."""
+        rates = self.rates
+        if self.backend == "serial" or len(snaps) <= 1:
+            iters = 0
+            for snap in snaps:
+                shard_rates, shard_iters = waterfill(
+                    snap, self.on_bottleneck
+                )
+                for fid, rate in zip(snap.flow_ids, shard_rates):
+                    rates[fid] = rate
+                iters += shard_iters
+            return iters
+        return self._solve_shards_process(snaps)
+
+    def _solve_shards_process(
+        self, snaps: List[ComponentSnapshot]
+    ) -> int:
+        """Dispatch shards as ``solver.shard`` experiments.
+
+        Payloads are pure values (the kernel sees exactly the floats
+        the snapshot holds -- pickle round-trips doubles exactly), and
+        the Runner returns payloads in spec order, so the splice below
+        is deterministic and byte-identical to the serial path.
+        """
+        from ..engine.runner import Runner
+        from ..engine.spec import ExperimentSpec
+
+        specs = [
+            ExperimentSpec("solver.shard", {"shard": snap.payload()})
+            for snap in snaps
+        ]
+        runner = Runner(cache=None, backend="process",
+                        max_workers=self.max_workers)
+        result = runner.run(specs)
+        rates = self.rates
+        iters = 0
+        for payload in result.payloads:
+            for fid, rate in zip(payload["flow_ids"], payload["rates"]):
+                rates[fid] = rate
+            iters += int(payload["iterations"])
+        return iters

@@ -52,6 +52,10 @@ class SolverStats:
     #: flows re-solved, summed over boundaries (vs. flows active)
     resolved_flows: int = 0
     active_flow_boundaries: int = 0
+    #: progressive-filling iterations, summed over fills/shards
+    kernel_iters: int = 0
+    #: component shards dispatched (sharded engine; 0 otherwise)
+    shard_solves: int = 0
 
     @property
     def solves(self) -> int:
@@ -75,6 +79,10 @@ class SolveOutcome:
     touched: FrozenSet[int]
     #: |touched| / |active| for this boundary (0.0 on noop)
     dirty_frac: float
+    #: progressive-filling iterations this solve ran (all shards)
+    kernel_iters: int = 0
+    #: component shards this solve dispatched (sharded engine only)
+    shards: int = 0
 
 
 _NOOP = SolveOutcome("noop", frozenset(), 0.0)
@@ -148,25 +156,35 @@ class IncrementalMaxMinSolver:
         self._dirty_links.clear()
         if comp is None:
             touched = frozenset(self.index.flows)
-            self._fill(touched)
+            iters = self._fill(touched)
             stats.full_solves += 1
             stats.resolved_flows += n_active
-            return SolveOutcome("full", touched, 1.0)
+            stats.kernel_iters += iters
+            return SolveOutcome("full", touched, 1.0, kernel_iters=iters)
         comp_flows, _comp_links = comp
         touched = frozenset(comp_flows)
-        self._fill(touched)
+        iters = self._fill(touched)
         stats.incremental_solves += 1
         stats.resolved_flows += len(touched)
+        stats.kernel_iters += iters
         frac = len(touched) / n_active if n_active else 0.0
-        return SolveOutcome("incremental", touched, frac)
+        return SolveOutcome("incremental", touched, frac,
+                            kernel_iters=iters)
 
     # ------------------------------------------------------------------
-    def _fill(self, flow_ids: FrozenSet[int]) -> None:
+    def _fill(self, flow_ids: FrozenSet[int]) -> int:
         """Progressive filling over ``flow_ids``, splicing into rates.
 
         Exact for any union of connected components: every flow on a
         participating link is in ``flow_ids`` (BFS closure), so link
         capacities need no adjustment for frozen outside flows.
+
+        The fill follows the **canonical order** the vectorized and
+        sharded engines reproduce bit-for-bit (see
+        :mod:`repro.fabric.kernel`): flows enumerate ascending by flow
+        id, bottleneck ties break to the smallest dense link id, newly
+        fixed flows debit flow-major in ascending-id order with each
+        flow's links in path order. Returns the iteration count.
         """
         idx = self.index
         flow_links = idx.flow_links
@@ -181,7 +199,7 @@ class IncrementalMaxMinSolver:
         # dead link is zeroed once and debited along its own links by
         # its own occurrence counts (never once per dead link crossed)
         participating: Set[int] = set()
-        for fid in flow_ids:
+        for fid in sorted(flow_ids):
             links = flow_links[fid]
             dead = False
             for dense, _mult in links:
@@ -200,20 +218,29 @@ class IncrementalMaxMinSolver:
         }
         on_bottleneck = self.on_bottleneck
         dirlinks = idx.dirlinks
+        iterations = 0
         while active:
             # bottleneck: the link offering the smallest fair share
+            # (ties -> smallest dense id, matching the kernels)
             share = float("inf")
             bottleneck = -1
             for dense in active:
                 s = residual[dense] / unfixed[dense]
-                if s < share:
+                if s < share or (s == share and dense < bottleneck):
                     share = s
                     bottleneck = dense
-            newly = [
+            newly = sorted(
                 fid for fid in link_flows[bottleneck] if fid not in fixed
-            ]
+            )
+            iterations += 1
             if on_bottleneck is not None:
                 on_bottleneck(dirlinks[bottleneck], share, len(newly))
+            if not newly:
+                # only drained-to-zero flows remain on this link: it
+                # can make no further progress -- retire it (liveness
+                # guard, mirrored exactly in the kernels)
+                active.discard(bottleneck)
+                continue
             for fid in newly:
                 rates[fid] = share
                 fixed.add(fid)
@@ -242,6 +269,31 @@ class IncrementalMaxMinSolver:
         for fid in flow_ids:
             if fid not in fixed:
                 rates[fid] = 0.0
+        return iterations
+
+
+class VectorizedMaxMinSolver(IncrementalMaxMinSolver):
+    """The incremental solver with the flat-array waterfill kernel.
+
+    Same event machinery, dirty-set tracking, and full-solve fallback
+    as the base class; only :meth:`_fill` is replaced -- it snapshots
+    the touched component into CSR arrays
+    (:func:`repro.fabric.kernel.build_snapshot`) and runs the
+    numpy-vectorized kernel (pure-Python twin when numpy is absent).
+    Both kernels implement the base class's canonical fill order, so
+    spliced rates are byte-identical to the interpreted engine --
+    asserted by :class:`SolverEquivalence`.
+    """
+
+    def _fill(self, flow_ids: FrozenSet[int]) -> int:
+        from .kernel import build_snapshot, waterfill
+
+        snap = build_snapshot(self.index, flow_ids)
+        kernel_rates, iterations = waterfill(snap, self.on_bottleneck)
+        rates = self.rates
+        for fid, rate in zip(snap.flow_ids, kernel_rates):
+            rates[fid] = rate
+        return iterations
 
 
 # ======================================================================
@@ -360,12 +412,16 @@ class SolverEquivalence:
         report: Optional[EquivalenceReport] = None,
         label: str = "case",
         full_threshold: float = 0.5,
+        modes: Sequence[str] = ("full", "incremental"),
     ) -> EquivalenceReport:
-        """End-to-end: both engines over identical flows and failures.
+        """End-to-end: every engine over identical flows and failures.
 
         ``events`` are ``(time, link_id, up)`` link-state transitions.
-        Link states are restored and flows reset between (and after)
-        the two runs, so callers keep reusable inputs.
+        ``modes`` names the engines to compare -- the first is the
+        baseline; ``"sharded:process"`` selects the sharded engine over
+        the process-pool backend. Link states are restored and flows
+        reset between (and after) the runs, so callers keep reusable
+        inputs.
         """
         from .simulator import FluidSimulator
 
@@ -373,8 +429,14 @@ class SolverEquivalence:
         initial_up = {lid: link.up for lid, link in topo.links.items()}
 
         def one_run(mode: str) -> Dict[int, float]:
-            sim = FluidSimulator(topo, solver=mode,
-                                 full_solve_threshold=full_threshold)
+            engine, _, backend = mode.partition(":")
+            kwargs: Dict[str, object] = {}
+            if engine == "sharded" and backend:
+                kwargs["shard_backend"] = backend
+                kwargs["shard_workers"] = 2
+            sim = FluidSimulator(topo, solver=engine,
+                                 full_solve_threshold=full_threshold,
+                                 **kwargs)  # type: ignore[arg-type]
             sim.add_flows(flows)
             for t, lid, up in events:
                 sim.schedule(
@@ -388,48 +450,73 @@ class SolverEquivalence:
                 for f in flows:
                     f.reset()
 
-        finish_full = one_run("full")
-        finish_inc = one_run("incremental")
+        base_mode = modes[0]
+        finish_base = one_run(base_mode)
         report.cases += 1
-        for f in flows:
-            a = finish_full.get(f.flow_id)
-            b = finish_inc.get(f.flow_id)
-            report.flows_checked += 1
-            if (a is None) != (b is None):
-                report.failures.append(
-                    f"{label}: flow {f.flow_id} finished in one engine "
-                    f"only (full={a!r} incremental={b!r})"
-                )
-                continue
-            if a is None or b is None:
-                continue
-            err = abs(a - b)
-            if err > report.max_finish_err:
-                report.max_finish_err = err
-            if err > self.tol * max(1.0, abs(a)):
-                report.failures.append(
-                    f"{label}: flow {f.flow_id} finish full={a!r} "
-                    f"incremental={b!r} (err {err:.3e})"
-                )
+        for mode in modes[1:]:
+            finish_other = one_run(mode)
+            for f in flows:
+                a = finish_base.get(f.flow_id)
+                b = finish_other.get(f.flow_id)
+                report.flows_checked += 1
+                if (a is None) != (b is None):
+                    report.failures.append(
+                        f"{label}: flow {f.flow_id} finished in one "
+                        f"engine only ({base_mode}={a!r} {mode}={b!r})"
+                    )
+                    continue
+                if a is None or b is None:
+                    continue
+                err = abs(a - b)
+                if err > report.max_finish_err:
+                    report.max_finish_err = err
+                if err > self.tol * max(1.0, abs(a)):
+                    report.failures.append(
+                        f"{label}: flow {f.flow_id} finish "
+                        f"{base_mode}={a!r} {mode}={b!r} (err {err:.3e})"
+                    )
         return report
 
     # ------------------------------------------------------------------
     def run_random(self, cases: int = 50, seed: int = 0,
-                   max_flows: int = 60) -> EquivalenceReport:
-        """A seeded campaign of randomized topology/flow/failure cases."""
+                   max_flows: int = 60,
+                   modes: Optional[Sequence[str]] = None,
+                   ) -> EquivalenceReport:
+        """A seeded campaign of randomized topology/flow/failure cases.
+
+        ``modes`` defaults to every engine -- full (the oracle),
+        incremental, vectorized, and sharded -- and every fifth case
+        additionally runs the sharded engine over the process-pool
+        backend, so cross-process pickling of shard payloads is
+        exercised without paying pool startup on all 50 cases.
+        """
         from ..routing import FiveTuple, shared_router
-        from ..topos import HpnSpec, SingleTorSpec, build_hpn, build_singletor
+        from ..topos import (
+            HpnSpec,
+            RailOnlySpec,
+            SingleTorSpec,
+            build_hpn,
+            build_railonly,
+            build_singletor,
+        )
 
         rng = random.Random(seed)
         report = EquivalenceReport()
         for case in range(cases):
-            if rng.random() < 0.7:
+            shape = rng.random()
+            if shape < 0.55:
                 topo = build_hpn(HpnSpec(
                     segments_per_pod=rng.choice([1, 2]),
                     hosts_per_segment=rng.choice([4, 6, 8]),
                     backup_hosts_per_segment=0,
                     aggs_per_plane=rng.choice([2, 4]),
                     agg_core_uplinks=0,
+                ))
+            elif shape < 0.75:
+                topo = build_railonly(RailOnlySpec(
+                    segments_per_pod=rng.choice([1, 2]),
+                    hosts_per_segment=rng.choice([4, 8]),
+                    aggs_per_plane=rng.choice([2, 4]),
                 ))
             else:
                 topo = build_singletor(SingleTorSpec(
@@ -465,8 +552,14 @@ class SolverEquivalence:
                 t_down = rng.uniform(0.0001, 0.005)
                 events.append((t_down, lid, False))
                 events.append((t_down + rng.uniform(0.001, 0.01), lid, True))
+            case_modes = list(
+                modes if modes is not None
+                else ("full", "incremental", "vectorized", "sharded")
+            )
+            if modes is None and case % 5 == 0:
+                case_modes.append("sharded:process")
             self.check_run(topo, flows, events, report=report,
-                           label=f"case{case}")
+                           label=f"case{case}", modes=case_modes)
             # scripted solver-state check on a subset of the same flows
             sample = rng.sample(flows, min(len(flows), 12))
             script: List[Tuple[str, object]] = []

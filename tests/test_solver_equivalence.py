@@ -1,10 +1,13 @@
-"""Differential testing: incremental engine vs the full-solve oracle.
+"""Differential testing: every solver engine vs the full-solve oracle.
 
 The legacy :func:`~repro.fabric.max_min_rates` is kept precisely so
-the incremental engine can be checked against it --
-:class:`~repro.fabric.SolverEquivalence` drives both through scripted
-event sequences and a seeded randomized campaign (topologies, flow
-sets, failure scripts) and asserts agreement to 1e-9.
+the incremental-family engines can be checked against it --
+:class:`~repro.fabric.SolverEquivalence` drives all four (full,
+incremental, vectorized, sharded -- including the process-pool shard
+backend on every fifth case) through scripted event sequences and a
+seeded randomized campaign (HPN, rail-only, and single-ToR topologies,
+flow sets, failure scripts), asserting agreement to 1e-9 against the
+oracle and *byte-identical* finishes within the incremental family.
 """
 
 import pytest
@@ -80,6 +83,16 @@ class TestRandomizedCampaign:
         assert report.ok, report.failures[:5]
         assert report.max_rate_err <= 1e-9
         assert report.max_finish_err <= 1e-9
+
+    def test_incremental_family_byte_identical(self):
+        """serial / vectorized / process-sharded: exact same finishes."""
+        report = SolverEquivalence().run_random(
+            cases=8, seed=77,
+            modes=("incremental", "vectorized", "sharded",
+                   "sharded:process"),
+        )
+        assert report.ok, report.failures[:5]
+        assert report.max_finish_err == 0.0
 
     def test_campaign_is_deterministic(self):
         a = SolverEquivalence().run_random(cases=5, seed=7)

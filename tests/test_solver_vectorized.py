@@ -1,0 +1,267 @@
+"""Vectorized kernels + sharded solves: byte-identity and epochs.
+
+Covers the kernel layer (:mod:`repro.fabric.kernel`) and the
+component-sharded engine (:class:`~repro.fabric.ShardedSolver`):
+
+* the numpy and pure-Python kernels follow the *same canonical fill
+  order* and therefore return byte-identical floats (the numpy leg is
+  skip-marked when the optional ``repro[fast]`` extra is absent, and a
+  subprocess leg proves the whole stack under ``REPRO_NO_NUMPY=1``);
+* ``ComponentSnapshot`` staleness: capacity edits via
+  ``topo.transient_state()`` and membership churn bump the index
+  epochs and invalidate every outstanding shard view;
+* :attr:`SolverStats.mean_dirty_frac` accounting under sharded solves
+  aggregates to the same global fraction as the serial engine;
+* the ``sim.kernel_iters`` / ``sim.shard_count`` obs series.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.units import GB, MB
+from repro.fabric import (
+    HAVE_NUMPY,
+    Flow,
+    FluidSimulator,
+    IncrementalMaxMinSolver,
+    ShardedSolver,
+    VectorizedMaxMinSolver,
+    build_snapshot,
+    waterfill,
+)
+from repro.fabric.kernel import (
+    snapshot_from_payload,
+    waterfill_numpy,
+    waterfill_python,
+)
+from repro.obs import Recorder
+from repro.routing import FiveTuple, Router
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy extra (repro[fast]) not installed"
+)
+
+
+def _edge_flow(topo, router, src, dst, rail, size, sport=50000,
+               start_time=0.0):
+    a = topo.hosts[src].nic_for_rail(rail)
+    b = topo.hosts[dst].nic_for_rail(rail)
+    ft = FiveTuple(a.ip, b.ip, sport, 4791)
+    return Flow(ft, size, router.path_for(a, b, ft, plane=0),
+                start_time=start_time)
+
+
+def _cap_of(topo):
+    def link_gbps(dl):
+        link = topo.links[dl // 2]
+        return link.gbps if link.up else 0.0
+    return link_gbps
+
+
+def _mesh_flows(topo, router, n=10):
+    """Cross-segment flows sharing access links -> coupled components."""
+    flows = []
+    for i in range(n):
+        flows.append(_edge_flow(
+            topo, router,
+            f"pod0/seg0/host{i % 4}", f"pod0/seg1/host{(i + 1) % 4}",
+            i % 2, (i + 1) * 200 * MB, sport=50000 + i,
+        ))
+    return flows
+
+
+def _indexed_solver(topo, router, cls=IncrementalMaxMinSolver, n=10,
+                    **kwargs):
+    solver = cls(_cap_of(topo), **kwargs)
+    for f in _mesh_flows(topo, router, n):
+        solver.activate(f)
+    return solver
+
+
+# ======================================================================
+class TestKernelMatrix:
+    """Both kernels, same snapshot, byte-identical output."""
+
+    @needs_numpy
+    def test_numpy_vs_python_byte_identical(self, hpn_small, hpn_router):
+        solver = _indexed_solver(hpn_small, hpn_router)
+        snap = build_snapshot(solver.index, solver.index.flows)
+        np_rates, np_iters = waterfill_numpy(snap)
+        py_rates, py_iters = waterfill_python(snap)
+        assert np_iters == py_iters
+        assert np_rates == py_rates  # byte equality, not approx
+
+    @needs_numpy
+    def test_payload_round_trip_is_exact(self, hpn_small, hpn_router):
+        solver = _indexed_solver(hpn_small, hpn_router)
+        snap = build_snapshot(solver.index, solver.index.flows)
+        clone = snapshot_from_payload(snap.payload())
+        direct, i1 = waterfill(snap)
+        routed, i2 = waterfill(clone)
+        assert i1 == i2
+        assert direct == routed
+
+    def test_python_kernel_runs_without_numpy_arrays(
+        self, hpn_small, hpn_router
+    ):
+        """The pure path works on whatever build_snapshot produced."""
+        solver = _indexed_solver(hpn_small, hpn_router)
+        snap = build_snapshot(solver.index, solver.index.flows)
+        rates, iters = waterfill_python(snap)
+        assert len(rates) == snap.num_flows
+        assert iters >= 1
+        assert all(r >= 0.0 for r in rates)
+
+    def test_vectorized_solver_matches_incremental(
+        self, hpn_small, hpn_router
+    ):
+        flows = _mesh_flows(hpn_small, hpn_router)
+        inc = IncrementalMaxMinSolver(_cap_of(hpn_small))
+        vec = VectorizedMaxMinSolver(_cap_of(hpn_small))
+        for f in flows:
+            inc.activate(f)
+            vec.activate(f)
+        a = inc.solve()
+        b = vec.solve()
+        assert inc.rates == vec.rates  # byte equality
+        assert a.kernel_iters == b.kernel_iters > 0
+
+    def test_stack_survives_numpy_absence(self):
+        """REPRO_NO_NUMPY=1: fallback kernels, same finishes."""
+        code = (
+            "from repro.fabric import HAVE_NUMPY, SolverEquivalence\n"
+            "assert not HAVE_NUMPY\n"
+            "r = SolverEquivalence().run_random(cases=3, seed=11,\n"
+            "    modes=('incremental', 'vectorized', 'sharded'))\n"
+            "assert r.ok, r.failures[:3]\n"
+            "assert r.max_finish_err == 0.0\n"
+        )
+        env = dict(os.environ, REPRO_NO_NUMPY="1")
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+# ======================================================================
+class TestSnapshotEpochs:
+    """Satellite: shard views must observe out-of-band edits."""
+
+    def test_transient_capacity_edit_invalidates_all_shards(
+        self, hpn_mutable
+    ):
+        router = Router(hpn_mutable)
+        solver = _indexed_solver(hpn_mutable, router)
+        solver.solve()
+        comps = solver.index.components(solver.index.flows, ())
+        shards = [
+            build_snapshot(solver.index, flows) for flows, _ in comps
+        ]
+        assert len(shards) >= 2
+        assert not any(s.stale(solver.index) for s in shards)
+        victim = next(iter(solver.index.flows.values()))
+        lid = victim.path.dirlinks[0] // 2
+        with hpn_mutable.transient_state():
+            hpn_mutable.set_link_state(lid, False)
+            solver.index.refresh_capacities(_cap_of(hpn_mutable))
+            # the edit touched one component's links, but the epoch is
+            # index-global: EVERY outstanding shard view is invalid
+            assert all(s.stale(solver.index) for s in shards)
+        # the restore is itself a capacity change -> still stale
+        solver.index.refresh_capacities(_cap_of(hpn_mutable))
+        assert all(s.stale(solver.index) for s in shards)
+
+    def test_membership_churn_invalidates(self, hpn_small, hpn_router):
+        solver = _indexed_solver(hpn_small, hpn_router)
+        snap = build_snapshot(solver.index, solver.index.flows)
+        extra = _edge_flow(hpn_small, hpn_router,
+                           "pod0/seg0/host5", "pod0/seg1/host5", 3, GB,
+                           sport=51000)
+        solver.activate(extra)
+        assert snap.stale(solver.index)
+
+    def test_noop_refresh_keeps_snapshots_fresh(
+        self, hpn_small, hpn_router
+    ):
+        solver = _indexed_solver(hpn_small, hpn_router)
+        snap = build_snapshot(solver.index, solver.index.flows)
+        dirty = solver.index.refresh_capacities(_cap_of(hpn_small))
+        assert not dirty
+        assert not snap.stale(solver.index)
+
+
+# ======================================================================
+class TestShardedStats:
+    """Satellite: mean_dirty_frac must not double-count shards."""
+
+    def _drive(self, topo, router, cls, **kwargs):
+        solver = _indexed_solver(topo, router, cls=cls, n=12, **kwargs)
+        solver.solve()
+        live = sorted(solver.index.flows)
+        for fid in live[:3]:
+            solver.finish(solver.index.flows[fid])
+        solver.solve()
+        for fid in live[3:5]:
+            solver.finish(solver.index.flows[fid])
+        solver.solve()
+        solver.solve()  # noop boundary
+        return solver.stats
+
+    def test_sharded_dirty_frac_matches_serial(
+        self, hpn_small, hpn_router
+    ):
+        base = self._drive(hpn_small, hpn_router,
+                           IncrementalMaxMinSolver)
+        shrd = self._drive(hpn_small, hpn_router, ShardedSolver)
+        # one active_flow_boundaries bump per solve boundary -- never
+        # per shard -- so the global fraction aggregates identically
+        assert shrd.active_flow_boundaries == base.active_flow_boundaries
+        assert shrd.resolved_flows == base.resolved_flows
+        assert shrd.mean_dirty_frac == base.mean_dirty_frac
+        assert shrd.noop_solves == base.noop_solves == 1
+        assert shrd.shard_solves >= (
+            shrd.full_solves + shrd.incremental_solves
+        )
+        assert base.shard_solves == 0
+
+    def test_sharded_kernel_iters_match_vectorized(
+        self, hpn_small, hpn_router
+    ):
+        vec = self._drive(hpn_small, hpn_router, VectorizedMaxMinSolver)
+        shrd = self._drive(hpn_small, hpn_router, ShardedSolver)
+        assert shrd.kernel_iters == vec.kernel_iters > 0
+
+    def test_unknown_backend_rejected(self, hpn_small):
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            ShardedSolver(_cap_of(hpn_small), backend="threads")
+
+
+# ======================================================================
+class TestObsSeries:
+    def test_kernel_iters_and_shard_count_series(
+        self, hpn_small, hpn_router
+    ):
+        rec = Recorder()
+        sim = FluidSimulator(hpn_small, recorder=rec, solver="sharded")
+        sim.add_flows(_mesh_flows(hpn_small, hpn_router, 8))
+        sim.run()
+        m = rec.metrics
+        assert m.counter("sim.kernel_iters").value > 0
+        assert m.counter("sim.shard_count").value > 0
+
+    def test_vectorized_records_kernel_iters_only(
+        self, hpn_small, hpn_router
+    ):
+        rec = Recorder()
+        sim = FluidSimulator(hpn_small, recorder=rec,
+                             solver="vectorized")
+        sim.add_flows(_mesh_flows(hpn_small, hpn_router, 8))
+        sim.run()
+        m = rec.metrics
+        assert m.counter("sim.kernel_iters").value > 0
+        assert m.counter("sim.shard_count").value == 0
