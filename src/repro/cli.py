@@ -619,6 +619,52 @@ def cmd_exp_compare(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .obs import Recorder
+    from .serve import ServeDaemon, ServeState
+
+    if args.input:
+        topo = load_topology(args.input)
+    else:
+        topo = _build_cluster(args).topo
+    recorder = Recorder()
+    # fresh=True: _build_cluster already installed a recorder-less
+    # shared router; the daemon wants its cache counters in /metrics
+    state = ServeState(topo, recorder=recorder, fresh=True)
+    daemon = ServeDaemon(
+        state,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay_s=args.batch_window_ms / 1000.0,
+        recorder=recorder,
+    )
+
+    async def _run() -> None:
+        await daemon.start()
+        print(
+            f"serving {len(topo.hosts)} hosts / {len(topo.switches)} "
+            f"switches on http://{daemon.host}:{daemon.port}",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, daemon.request_stop)
+            except NotImplementedError:
+                pass
+        await daemon.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -712,6 +758,22 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print route-cache hit/compile counters")
     p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser(
+        "serve",
+        help="what-if routing/telemetry daemon over the warm route cache",
+    )
+    _add_build_args(p)
+    p.add_argument("--input", "-i",
+                   help="load a topology JSON instead of building")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="flush a micro-batch at this many distinct queries")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="flush a micro-batch this long after its first query")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("train", help="simulate one training iteration")
     _add_build_args(p)

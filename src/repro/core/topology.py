@@ -304,16 +304,29 @@ class Topology:
         write failure sweeps (SPOF analysis, Monte-Carlo what-ifs);
         flipping ``link.up`` directly bypasses the epoch and poisons
         caches (flagged by SEM001).
+
+        Restore cost is O(transitions inside the block), not O(links):
+        ``state_epoch`` indexes the state log, so the links to undo are
+        exactly those with an odd transition count since entry. A probe
+        that fails k links therefore costs 2k log entries total, which
+        net-change cache invalidation then recognises as zero -- warm
+        routers survive fork-and-probe untouched.
         """
-        link_state = {lid: link.up for lid, link in self.links.items()}
         switch_state = {name: sw.up for name, sw in self.switches.items()}
+        enter_epoch = self.state_epoch
         try:
             yield self
         finally:
             for name, up in switch_state.items():
-                self.switches[name].up = up
-            for lid, up in link_state.items():
-                self.set_link_state(lid, up)
+                sw = self.switches[name]
+                if sw.up != up:
+                    sw.up = up
+            pending: Dict[int, int] = {}
+            for lid in self._state_log[enter_epoch:]:
+                pending[lid] = pending.get(lid, 0) + 1
+            for lid, n in pending.items():
+                if n % 2:
+                    self.set_link_state(lid, not self.links[lid].up)
 
     def notify_structure_changed(self) -> None:
         """Record out-of-band rewiring (e.g. moving a link endpoint).

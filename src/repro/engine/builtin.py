@@ -354,3 +354,25 @@ def bench_fleet(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
     from ..fleet import run_fleet_bench
 
     return run_fleet_bench(dict(params), seed)
+
+
+# ----------------------------------------------------------------------
+# serve perf benchmark (batched dispatch vs serial what-if evaluation)
+# ----------------------------------------------------------------------
+@experiment(
+    "bench.serve",
+    "Serve perf: mixed path/planes/RePaC/residual what-if workload "
+    "dispatched in micro-batches over the warm shared router vs "
+    "serial uncached evaluation, byte-identity checked",
+    defaults={
+        "segments": 15, "hosts_per_segment": 8, "aggs_per_plane": 8,
+        "requests": 24000, "pairs": 150, "conns": 2,
+        "planes_frac": 0.05, "repac_frac": 0.02, "whatif_frac": 0.01,
+        "repac_pairs": 3, "repac_num_paths": 3, "repac_span": 48,
+        "whatif_pairs": 2, "batch_size": 64,
+    },
+)
+def bench_serve(params: Dict[str, Any], seed: int) -> Mapping[str, Any]:
+    from ..serve.bench import run_serve_bench
+
+    return run_serve_bench(dict(params), seed)

@@ -4,6 +4,8 @@ from .cache import (
     CachedRouter,
     RouteCache,
     RouteStats,
+    active_shared_routers,
+    evict_shared_router,
     reset_shared_router,
     shared_router,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "RouteStats",
     "Router",
     "SwitchFib",
+    "active_shared_routers",
+    "evict_shared_router",
     "reset_shared_router",
     "shared_router",
     "card_complexity",

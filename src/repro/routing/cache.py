@@ -27,6 +27,8 @@ flushes everything; ``fib.compiles`` counts those recompiles.
 
 from __future__ import annotations
 
+import weakref
+from collections import Counter as _Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -163,13 +165,24 @@ class CachedRouter(Router):
         return Fib(self.topo, self.plane_isolated)
 
     def _sync(self) -> None:
-        """Bring compiled state up to the topology's epochs."""
+        """Bring compiled state up to the topology's epochs.
+
+        Invalidation is by *net* state change: every cached entry was
+        validated exactly at the cursor epoch (inserts happen right
+        after a sync, before any further transition), so a link that
+        toggled an even number of times inside the window is back in
+        the state the entry was computed under and the entry stays
+        valid. This is what makes ``Topology.transient_state``
+        fork-and-probe free for a warm router: a what-if failure plus
+        its restore nets out to zero transitions and drops nothing.
+        """
         topo = self.topo
         if self._structure_cursor != topo.structure_epoch:
             self.invalidate_all()
             return
         if self._state_cursor != topo.state_epoch:
-            changed = set(topo.link_state_changes(self._state_cursor))
+            counts = _Counter(topo.link_state_changes(self._state_cursor))
+            changed = [lid for lid, n in counts.items() if n % 2]
             dropped = self._paths.invalidate_links(changed)
             dropped += self._planes.invalidate_links(changed)
             self.stats.invalidations += dropped
@@ -227,6 +240,25 @@ class CachedRouter(Router):
         plane: Optional[int] = None,
     ) -> FlowPath:
         self._sync()
+        outcome, payload = self._resolve_synced(src_nic, dst_nic, ft, plane)
+        if outcome == "err":
+            raise RoutingError(payload)
+        return payload  # type: ignore[return-value]
+
+    def _resolve_synced(
+        self,
+        src_nic: Nic,
+        dst_nic: Nic,
+        ft: FiveTuple,
+        plane: Optional[int],
+    ) -> Tuple[str, object]:
+        """Cache lookup + walk for one already-synced request.
+
+        Returns ``("ok", FlowPath)`` or ``("err", message)`` -- the
+        memoized entry shape, so :meth:`route_many` can fan one
+        resolution out to duplicate requests without re-raising through
+        the cache machinery.
+        """
         key = (
             src_nic.host, src_nic.index,
             dst_nic.host, dst_nic.index,
@@ -235,19 +267,18 @@ class CachedRouter(Router):
         cached = self._paths.get(key)
         if cached is not _MISS:
             self._hit()
-            outcome, payload = cached  # type: ignore[misc]
-            if outcome == "err":
-                raise RoutingError(payload)
-            return payload  # type: ignore[return-value]
+            return cached  # type: ignore[return-value]
         self._miss()
         deps: Set[int] = set()
         try:
             path = self._route(src_nic, dst_nic, ft, plane, deps)
         except RoutingError as err:
-            self._paths.put(key, ("err", str(err)), deps)
-            raise
-        self._paths.put(key, ("ok", path), deps)
-        return path
+            entry = ("err", str(err))
+            self._paths.put(key, entry, deps)
+            return entry
+        entry = ("ok", path)
+        self._paths.put(key, entry, deps)
+        return entry
 
     def route_many(
         self,
@@ -258,18 +289,36 @@ class CachedRouter(Router):
 
         One epoch sync covers the whole batch; repeated (pair, plane,
         five-tuple) requests and requests re-issued across steps hit
-        the cache. With ``strict`` (default) the first unroutable
-        request raises; otherwise its slot is ``None``.
+        the cache. Identical requests *within* the batch are
+        deduplicated: the cache (or the walker, on a miss) is consulted
+        once per distinct key and the result fanned out to every
+        duplicate slot, so a batch costs one miss per distinct key.
+        Fan-outs count as hits -- they are served from warm state.
+        With ``strict`` (default) the first unroutable request raises;
+        otherwise its slot is ``None``.
         """
         self._sync()
         out: List[Optional[FlowPath]] = []
+        seen: Dict[object, Tuple[str, object]] = {}
         for src_nic, dst_nic, ft, plane in requests:
-            try:
-                out.append(self.path_for(src_nic, dst_nic, ft, plane))
-            except RoutingError:
+            key = (
+                src_nic.host, src_nic.index,
+                dst_nic.host, dst_nic.index,
+                plane, ft,
+            )
+            entry = seen.get(key)
+            if entry is not None:
+                self._hit()  # intra-batch fan-out: no cache machinery
+            else:
+                entry = self._resolve_synced(src_nic, dst_nic, ft, plane)
+                seen[key] = entry
+            outcome, payload = entry
+            if outcome == "err":
                 if strict:
-                    raise
+                    raise RoutingError(payload)
                 out.append(None)
+            else:
+                out.append(payload)  # type: ignore[arg-type]
         return out
 
     # ------------------------------------------------------------------
@@ -375,12 +424,43 @@ class CachedRouter(Router):
         return super().count_equal_paths(src_nic, dst_nic, plane)
 
 
-def shared_router(topo: Topology, per_port_core_hash: bool = True) -> CachedRouter:
+#: weak per-topology registry: ``id(topo) -> weakref to its router``.
+#: The registry itself never extends a router's (or topology's)
+#: lifetime -- the strong reference lives on the topology object, so a
+#: router dies exactly when its topology does (or on explicit
+#: eviction). A ``weakref.finalize`` on each router scrubs its key, so
+#: long-lived daemons that churn through topologies never accumulate
+#: entries for dead ones.
+_ROUTER_REGISTRY: Dict[int, "weakref.ref[CachedRouter]"] = {}
+
+
+def _install_router(topo: Topology, router: CachedRouter) -> CachedRouter:
+    key = id(topo)
+    topo._shared_router = router  # type: ignore[attr-defined]
+    _ROUTER_REGISTRY[key] = weakref.ref(router)
+
+    def _scrub(reg_key: int = key, ref: "weakref.ref[CachedRouter]" = _ROUTER_REGISTRY[key]) -> None:
+        # only drop the key if it still points at *this* router: the id
+        # may have been recycled by a new topology in the meantime
+        if _ROUTER_REGISTRY.get(reg_key) is ref:
+            del _ROUTER_REGISTRY[reg_key]
+
+    weakref.finalize(router, _scrub)
+    return router
+
+
+def shared_router(
+    topo: Topology,
+    per_port_core_hash: bool = True,
+    recorder=None,
+) -> CachedRouter:
     """The per-topology :class:`CachedRouter`, created on first use.
 
     All call sites that previously built a throwaway ``Router(topo)``
     share one cached instance (and therefore one warm cache) through
-    this accessor; a new topology object gets a new router.
+    this accessor; a new topology object gets a new router. The
+    ``recorder`` only takes effect when this call constructs the
+    router (an existing warm router keeps its recorder).
     """
     router = getattr(topo, "_shared_router", None)
     if (
@@ -388,13 +468,49 @@ def shared_router(topo: Topology, per_port_core_hash: bool = True) -> CachedRout
         or router.topo is not topo
         or router.per_port_core_hash != per_port_core_hash
     ):
-        router = CachedRouter(topo, per_port_core_hash)
-        topo._shared_router = router  # type: ignore[attr-defined]
+        router = _install_router(
+            topo, CachedRouter(topo, per_port_core_hash, recorder)
+        )
     return router
 
 
-def reset_shared_router(topo: Topology, per_port_core_hash: bool = True) -> CachedRouter:
+def reset_shared_router(
+    topo: Topology,
+    per_port_core_hash: bool = True,
+    recorder=None,
+) -> CachedRouter:
     """Discard the shared router and install a fresh (cold) one."""
-    router = CachedRouter(topo, per_port_core_hash)
-    topo._shared_router = router  # type: ignore[attr-defined]
-    return router
+    return _install_router(
+        topo, CachedRouter(topo, per_port_core_hash, recorder)
+    )
+
+
+def evict_shared_router(topo: Topology) -> bool:
+    """Drop ``topo``'s shared router (and its caches) without replacing it.
+
+    Returns whether a router was installed. Long-lived processes that
+    unload a topology but keep the object alive (serve daemons swapping
+    fabrics in and out) call this so the dead fabric's compiled FIB and
+    route cache are freed immediately instead of riding along until the
+    topology itself is collected.
+    """
+    router = getattr(topo, "_shared_router", None)
+    had = isinstance(router, CachedRouter) and router.topo is topo
+    if hasattr(topo, "_shared_router"):
+        del topo._shared_router  # type: ignore[attr-defined]
+    _ROUTER_REGISTRY.pop(id(topo), None)
+    return had
+
+
+def active_shared_routers() -> List[CachedRouter]:
+    """Every live shared router, for introspection (daemon ``/stats``).
+
+    Dead weakrefs are skipped (their finalizers scrub the keys); the
+    returned list holds strong references, so don't keep it around.
+    """
+    out: List[CachedRouter] = []
+    for ref in list(_ROUTER_REGISTRY.values()):
+        router = ref()
+        if router is not None:
+            out.append(router)
+    return out

@@ -21,9 +21,11 @@ Two instruments over the same machinery:
 
 from __future__ import annotations
 
+import gc
 import random
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.errors import RoutingError
 from ..core.topology import Topology
@@ -194,6 +196,25 @@ def _build_schedule(
     return schedule
 
 
+@contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Keep cyclic GC out of the timed phases.
+
+    Collection debt accumulated by whatever ran earlier in the process
+    (other benchmark modules, test fixtures) would otherwise be paid
+    inside whichever timed region the collector happens to fire in,
+    skewing the engine comparison by run order.
+    """
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def run_routing_bench(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """Benchmark cached/batched routing against the uncached walker.
 
@@ -215,36 +236,38 @@ def run_routing_bench(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     # equivalence diff are materialized after the clocks stop
     oracle = Router(topo)
     baseline_raw: List[List[Any]] = []
-    t0 = time.perf_counter()
-    for events, reqs in schedule:
-        for lid, up in events:
-            topo.set_link_state(lid, up)
-        out: List[Any] = []
-        for s, d, ft, p in reqs:
-            try:
-                out.append(oracle.path_for(s, d, ft, p))
-            except RoutingError as err:
-                out.append(("err", str(err)))
-        baseline_raw.append(out)
-    uncached_wall = time.perf_counter() - t0
+    with _gc_paused():
+        t0 = time.perf_counter()
+        for events, reqs in schedule:
+            for lid, up in events:
+                topo.set_link_state(lid, up)
+            out: List[Any] = []
+            for s, d, ft, p in reqs:
+                try:
+                    out.append(oracle.path_for(s, d, ft, p))
+                except RoutingError as err:
+                    out.append(("err", str(err)))
+            baseline_raw.append(out)
+        uncached_wall = time.perf_counter() - t0
     restore()
 
     # --- cached/batched engine ----------------------------------------
     router = CachedRouter(topo)
     cached_raw: List[List[Any]] = []
-    t0 = time.perf_counter()
-    for events, reqs in schedule:
-        for lid, up in events:
-            topo.set_link_state(lid, up)
-        paths = router.route_many(reqs, strict=False)
-        for i, path in enumerate(paths):
-            if path is None:
-                # unroutable: re-ask (a cache hit) for the message,
-                # under this step's link state
-                s, d, ft, p = reqs[i]
-                paths[i] = _query(router, s, d, ft, p)
-        cached_raw.append(paths)
-    cached_wall = time.perf_counter() - t0
+    with _gc_paused():
+        t0 = time.perf_counter()
+        for events, reqs in schedule:
+            for lid, up in events:
+                topo.set_link_state(lid, up)
+            paths = router.route_many(reqs, strict=False)
+            for i, path in enumerate(paths):
+                if path is None:
+                    # unroutable: re-ask (a cache hit) for the message,
+                    # under this step's link state
+                    s, d, ft, p = reqs[i]
+                    paths[i] = _query(router, s, d, ft, p)
+            cached_raw.append(paths)
+        cached_wall = time.perf_counter() - t0
     restore()
 
     cached: List[List[Outcome]] = [

@@ -1,0 +1,36 @@
+"""repro.serve: persistent what-if routing/telemetry service.
+
+The daemon (``repro serve``) keeps a topology, its compiled FIBs, and
+the warm :func:`~repro.routing.shared_router` resident and answers
+batched what-if queries over a small HTTP API (see
+``docs/serving.md``):
+
+* ``path`` -- which path does this 5-tuple take (``path_for``);
+* ``planes`` -- usable planes between two NICs;
+* ``repac`` -- RePaC disjoint-path set for a connection request;
+* ``residual`` -- residual bandwidth after a hypothetical failure,
+  evaluated under ``Topology.transient_state()`` fork-and-probe
+  against a dedicated probe router so the live caches stay warm.
+
+The performance core is :class:`~repro.serve.batching.MicroBatcher`:
+concurrent requests accumulate into size/deadline-bounded
+micro-batches, deduplicate by request key, and dispatch through
+``route_many`` -- byte-identical to serial one-at-a-time evaluation.
+"""
+
+from .batching import BatchStats, MicroBatcher
+from .client import ServeClient
+from .query import KINDS, Query, QueryError
+from .server import ServeDaemon
+from .state import ServeState
+
+__all__ = [
+    "BatchStats",
+    "KINDS",
+    "MicroBatcher",
+    "Query",
+    "QueryError",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeState",
+]

@@ -1,0 +1,151 @@
+"""Async micro-batching: accumulate, dedupe, dispatch, fan out.
+
+Concurrent requests land in a pending window; the window flushes when
+it reaches ``max_batch`` distinct queries or when ``max_delay_s``
+elapses after the first arrival, whichever comes first. Identical
+queries (same :class:`~repro.serve.query.Query`, which is its own
+canonical key) share one future -- the batch engine sees each distinct
+query once and every duplicate waiter gets the same result object.
+
+The flush runs the batch synchronously on the event loop. That is
+deliberate: the daemon is single-loop, so a batch -- including its
+transient-state what-if groups -- can never interleave with another
+batch's epoch sync, which is the atomicity the fork-and-probe contract
+relies on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .query import Query
+
+#: default flush bounds: 64 distinct queries or 2 ms after first arrival
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_DELAY_S = 0.002
+
+
+@dataclass
+class BatchStats:
+    """Counters the daemon exports via ``/stats`` and ``serve.*``."""
+
+    requests: int = 0
+    deduped: int = 0
+    batches: int = 0
+    flushed_full: int = 0
+    flushed_deadline: int = 0
+    flushed_drain: int = 0
+    max_batch_seen: int = 0
+    batched_queries: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        mean = self.batched_queries / self.batches if self.batches else 0.0
+        return {
+            "requests": self.requests,
+            "deduped": self.deduped,
+            "batches": self.batches,
+            "flushed_full": self.flushed_full,
+            "flushed_deadline": self.flushed_deadline,
+            "flushed_drain": self.flushed_drain,
+            "max_batch_seen": self.max_batch_seen,
+            "mean_batch_size": mean,
+        }
+
+
+class MicroBatcher:
+    """Deadline/size-bounded request coalescing over a batch executor.
+
+    ``execute_batch`` is called with the distinct pending queries (in
+    arrival order) and must return one result per query; results are
+    fanned out to every waiter, duplicates included.
+    """
+
+    def __init__(
+        self,
+        execute_batch: Callable[[Sequence[Query]], List[Any]],
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay_s: float = DEFAULT_MAX_DELAY_S,
+        recorder=None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._execute_batch = execute_batch
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.stats = BatchStats()
+        self._pending: List[Query] = []
+        self._futures: Dict[Query, "asyncio.Future[Any]"] = {}
+        self._timer: Optional[asyncio.TimerHandle] = None
+        if recorder is not None:
+            m = recorder.metrics
+            self._h_batch = m.histogram(
+                "serve.batch_size",
+                buckets=[1, 2, 4, 8, 16, 32, 64, 128, 256],
+            )
+            self._c_deduped = m.counter("serve.deduped")
+        else:
+            self._h_batch = self._c_deduped = None
+
+    # ------------------------------------------------------------------
+    async def submit(self, query: Query) -> Any:
+        """Enqueue one query; resolves when its batch executes."""
+        self.stats.requests += 1
+        fut = self._futures.get(query)
+        if fut is not None:
+            # intra-window duplicate: ride the existing future
+            self.stats.deduped += 1
+            if self._c_deduped is not None:
+                self._c_deduped.inc()
+            return await fut
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._futures[query] = fut
+        self._pending.append(query)
+        if len(self._pending) >= self.max_batch:
+            self._flush("full")
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_delay_s, self._flush, "deadline"
+            )
+        return await fut
+
+    def flush(self) -> None:
+        """Execute whatever is pending now (drain / shutdown path)."""
+        if self._pending:
+            self._flush("drain")
+
+    # ------------------------------------------------------------------
+    def _flush(self, why: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch = self._pending
+        futures = self._futures
+        self._pending = []
+        self._futures = {}
+        if not batch:
+            return
+        self.stats.batches += 1
+        self.stats.batched_queries += len(batch)
+        self.stats.max_batch_seen = max(self.stats.max_batch_seen, len(batch))
+        if why == "full":
+            self.stats.flushed_full += 1
+        elif why == "deadline":
+            self.stats.flushed_deadline += 1
+        else:
+            self.stats.flushed_drain += 1
+        if self._h_batch is not None:
+            self._h_batch.observe(len(batch))
+        try:
+            results = self._execute_batch(batch)
+        except Exception as err:  # defensive: executor should not raise
+            for fut in futures.values():
+                if not fut.done():
+                    fut.set_exception(err)
+            return
+        for query, result in zip(batch, results):
+            fut = futures[query]
+            if not fut.done():
+                fut.set_result(result)

@@ -1,0 +1,207 @@
+"""The ``bench.serve`` experiment: batched dispatch vs serial evaluation.
+
+Three phases over one seeded mixed workload (path / planes / RePaC /
+residual-what-if) on one topology object:
+
+1. **oracle serial** -- every query evaluated one at a time against the
+   uncached hop-by-hop :class:`~repro.routing.ecmp.Router`: what every
+   caller paid before the daemon existed, and the differential oracle
+   for byte-identity;
+2. **warm serial** -- a fresh shared ``CachedRouter``, still one query
+   at a time: isolates cache warmth from batching;
+3. **batched** -- another fresh router, the same workload chunked
+   through ``ServeState.execute_batch`` (dedupe + ``route_many`` + one
+   transient block per failure set).
+
+All three result streams must be byte-identical; the payload records
+walls, speedup, qps, cache hit rate, and the equivalence verdict for
+``BENCH_serve.json`` and the CI gate (≥3x over serial at ≥90% hits).
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Tuple
+
+from ..core.topology import Topology
+from .query import Query
+from .state import ServeState
+
+
+def _build_topo(params: Dict[str, Any]) -> Topology:
+    from ..topos import HpnSpec, build_hpn
+
+    return build_hpn(HpnSpec(
+        segments_per_pod=int(params.get("segments", 2)),
+        hosts_per_segment=int(params.get("hosts_per_segment", 8)),
+        aggs_per_plane=int(params.get("aggs_per_plane", 4)),
+    ))
+
+
+def _build_workload(
+    topo: Topology, params: Dict[str, Any], seed: int
+) -> List[Query]:
+    rng = random.Random(seed)
+    hosts = sorted(h.name for h in topo.active_hosts())
+    rails = sorted(
+        {n.rail for n in next(iter(topo.hosts.values())).backend_nics()}
+    )
+
+    def pair() -> Tuple[str, str]:
+        src = hosts[rng.randrange(len(hosts))]
+        dst = hosts[rng.randrange(len(hosts))]
+        while dst == src:
+            dst = hosts[rng.randrange(len(hosts))]
+        return src, dst
+
+    n_pairs = int(params.get("pairs", 120))
+    conns = int(params.get("conns", 2))
+    path_pool: List[Query] = []
+    planes_pool: List[Query] = []
+    for _ in range(n_pairs):
+        src, dst = pair()
+        rail = rails[rng.randrange(len(rails))]
+        for c in range(conns):
+            path_pool.append(Query(
+                kind="path", src_host=src, dst_host=dst,
+                src_rail=rail, dst_rail=rail, sport=49152 + c,
+            ))
+        planes_pool.append(Query(
+            kind="planes", src_host=src, dst_host=dst,
+            src_rail=rail, dst_rail=rail,
+        ))
+
+    repac_pool: List[Query] = []
+    for _ in range(int(params.get("repac_pairs", 3))):
+        src, dst = pair()
+        repac_pool.append(Query(
+            kind="repac", src_host=src, dst_host=dst,
+            num_paths=int(params.get("repac_num_paths", 3)),
+            sport_span=int(params.get("repac_span", 48)),
+        ))
+
+    # residual what-ifs: each fails one agg/core-facing link
+    link_ids = sorted(topo.links)
+    whatif_pool: List[Query] = []
+    for _ in range(int(params.get("whatif_pairs", 2))):
+        src, dst = pair()
+        lid = link_ids[rng.randrange(len(link_ids))]
+        whatif_pool.append(Query(
+            kind="residual", src_host=src, dst_host=dst,
+            num_paths=2, sport_span=32, fail_links=(lid,),
+        ))
+
+    requests = int(params.get("requests", 4000))
+    planes_frac = float(params.get("planes_frac", 0.10))
+    repac_frac = float(params.get("repac_frac", 0.03))
+    whatif_frac = float(params.get("whatif_frac", 0.01))
+    workload: List[Query] = []
+    for _ in range(requests):
+        roll = rng.random()
+        if roll < whatif_frac:
+            pool = whatif_pool
+        elif roll < whatif_frac + repac_frac:
+            pool = repac_pool
+        elif roll < whatif_frac + repac_frac + planes_frac:
+            pool = planes_pool
+        else:
+            pool = path_pool
+        workload.append(pool[rng.randrange(len(pool))])
+    return workload
+
+
+@contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Keep cyclic GC out of the timed phases.
+
+    Each phase accumulates thousands of result dicts; without this the
+    *last* phase pays collection passes over every earlier phase's
+    garbage, skewing the comparison by run order.
+    """
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _first_mismatch(a: List[Dict], b: List[Dict]) -> int:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i
+    return -1
+
+
+def run_serve_bench(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    topo = _build_topo(params)
+    workload = _build_workload(topo, params, seed)
+    batch_size = int(params.get("batch_size", 64))
+    kinds: Dict[str, int] = {}
+    for q in workload:
+        kinds[q.kind] = kinds.get(q.kind, 0) + 1
+
+    # phase 1: oracle serial (uncached walker, one query at a time)
+    oracle_state = ServeState(topo, fresh=True)
+    with _gc_paused():
+        t0 = time.perf_counter()
+        oracle_results = [oracle_state.execute_oracle(q) for q in workload]
+        serial_wall = time.perf_counter() - t0
+
+    # phase 2: warm serial (fresh cached router, one query at a time)
+    serial_state = ServeState(topo, fresh=True)
+    with _gc_paused():
+        t0 = time.perf_counter()
+        serial_results = [serial_state.execute(q) for q in workload]
+        warm_serial_wall = time.perf_counter() - t0
+
+    # phase 3: batched (fresh cached router, micro-batch chunks)
+    batch_state = ServeState(topo, fresh=True)
+    batched_results: List[Dict[str, Any]] = []
+    deduped = 0
+    batches = 0
+    with _gc_paused():
+        t0 = time.perf_counter()
+        for start in range(0, len(workload), batch_size):
+            chunk = workload[start:start + batch_size]
+            deduped += len(chunk) - len(set(chunk))
+            batches += 1
+            batched_results.extend(batch_state.execute_batch(chunk))
+        batched_wall = time.perf_counter() - t0
+
+    stats = batch_state.router.stats
+    mismatch_vs_serial = _first_mismatch(batched_results, serial_results)
+    mismatch_vs_oracle = _first_mismatch(batched_results, oracle_results)
+    equivalent = mismatch_vs_serial < 0 and mismatch_vs_oracle < 0
+
+    return {
+        "requests": len(workload),
+        "distinct": len(set(workload)),
+        "kinds": kinds,
+        "batch_size": batch_size,
+        "batches": batches,
+        "deduped_in_batch": deduped,
+        "serial_wall_s": serial_wall,
+        "warm_serial_wall_s": warm_serial_wall,
+        "batched_wall_s": batched_wall,
+        "speedup": serial_wall / batched_wall if batched_wall else 0.0,
+        "warm_serial_speedup": (
+            warm_serial_wall / batched_wall if batched_wall else 0.0
+        ),
+        "qps": len(workload) / batched_wall if batched_wall else 0.0,
+        "cache": dict(stats.as_dict(), hit_rate=stats.hit_rate),
+        "probe_cache": dict(
+            batch_state.probe_router.stats.as_dict(),
+            hit_rate=batch_state.probe_router.stats.hit_rate,
+        ),
+        "equivalence": {
+            "ok": equivalent,
+            "first_mismatch_vs_serial": mismatch_vs_serial,
+            "first_mismatch_vs_oracle": mismatch_vs_oracle,
+        },
+    }

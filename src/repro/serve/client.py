@@ -1,0 +1,103 @@
+"""Blocking HTTP client for the serve daemon (tests, CI, scripting).
+
+Keeps one persistent keep-alive connection; reconnects transparently
+if the daemon closed it. Accepts :class:`~repro.serve.query.Query`
+objects or plain dicts in the wire shape.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .query import Query
+
+QueryLike = Union[Query, Dict[str, Any]]
+
+
+class ServeClient:
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def query(self, query: QueryLike) -> Dict[str, Any]:
+        return self._post("/v1/query", _jsonable(query))
+
+    def batch(self, queries: Sequence[QueryLike]) -> List[Dict[str, Any]]:
+        body = {"queries": [_jsonable(q) for q in queries]}
+        return self._post("/v1/batch", body)["results"]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._get_json("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._get_json("/stats")
+
+    def metrics(self) -> str:
+        status, body = self._request("GET", "/metrics", None)
+        if status != 200:
+            raise RuntimeError(f"/metrics returned {status}")
+        return body.decode()
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._post("/admin/shutdown", {})
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _get_json(self, path: str) -> Dict[str, Any]:
+        status, body = self._request("GET", path, None)
+        out = json.loads(body.decode())
+        if status != 200:
+            raise RuntimeError(f"{path} returned {status}: {out}")
+        return out
+
+    def _post(self, path: str, obj: Any) -> Any:
+        payload = json.dumps(obj).encode()
+        status, body = self._request("POST", path, payload)
+        out = json.loads(body.decode())
+        if status != 200:
+            raise RuntimeError(f"{path} returned {status}: {out}")
+        return out
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> "tuple[int, bytes]":
+        headers = {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                return resp.status, resp.read()
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+
+def _jsonable(query: QueryLike) -> Dict[str, Any]:
+    if isinstance(query, Query):
+        return query.to_jsonable()
+    return dict(query)

@@ -1,0 +1,148 @@
+"""The serve request model: immutable, canonical, dedupe-keyed queries.
+
+A :class:`Query` is a frozen dataclass so it is hashable -- the query
+*is* its own dedupe key. :meth:`Query.from_jsonable` canonicalises the
+wire form (sorted, duplicate-free failure sets; defaulted fields) so
+two requests that mean the same thing coalesce into one evaluation in
+the micro-batcher and in ``ServeState.execute_batch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple
+
+#: the query kinds the daemon answers
+KINDS = ("path", "planes", "repac", "residual")
+
+#: default RDMA dport (RoCEv2) and RePaC probe settings
+DEFAULT_DPORT = 4791
+DEFAULT_SPORT = 49152
+DEFAULT_NUM_PATHS = 4
+DEFAULT_SPORT_SPAN = 128
+
+
+class QueryError(ValueError):
+    """A malformed or unanswerable query (bad kind, unknown host...)."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """One what-if question, canonical and hashable.
+
+    ``fail_links`` / ``fail_switches`` make any kind a what-if: the
+    query is evaluated under ``Topology.transient_state()`` with those
+    failures applied, against the probe router (never the live one).
+    """
+
+    kind: str
+    src_host: str
+    dst_host: str
+    src_rail: int = 0
+    dst_rail: int = 0
+    sport: int = DEFAULT_SPORT
+    dport: int = DEFAULT_DPORT
+    plane: Optional[int] = None
+    num_paths: int = DEFAULT_NUM_PATHS
+    sport_span: int = DEFAULT_SPORT_SPAN
+    fail_links: Tuple[int, ...] = ()
+    fail_switches: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise QueryError(
+                f"unknown query kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.num_paths < 1:
+            raise QueryError("num_paths must be >= 1")
+        if self.sport_span < 1:
+            raise QueryError("sport_span must be >= 1")
+        # canonicalise failure sets so equal what-ifs hash equal
+        object.__setattr__(
+            self, "fail_links", tuple(sorted(set(self.fail_links)))
+        )
+        object.__setattr__(
+            self, "fail_switches", tuple(sorted(set(self.fail_switches)))
+        )
+        # queries are dict keys on every hot path (dedupe, fan-out);
+        # precompute the hash once instead of re-hashing 12 fields per
+        # lookup
+        object.__setattr__(self, "_hash", hash((
+            self.kind, self.src_host, self.dst_host,
+            self.src_rail, self.dst_rail, self.sport, self.dport,
+            self.plane, self.num_paths, self.sport_span,
+            self.fail_links, self.fail_switches,
+        )))
+
+    def __hash__(self) -> int:  # noqa: overrides the dataclass hash
+        return self._hash  # type: ignore[attr-defined]
+
+    @property
+    def is_what_if(self) -> bool:
+        return bool(self.fail_links or self.fail_switches)
+
+    @property
+    def failure_set(self) -> Tuple[Tuple[int, ...], Tuple[str, ...]]:
+        """Grouping key: what-ifs sharing it run in one transient block."""
+        return (self.fail_links, self.fail_switches)
+
+    def key(self) -> "Query":
+        """The dedupe key -- the query itself (frozen, hashable)."""
+        return self
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "src_host": self.src_host,
+            "dst_host": self.dst_host,
+            "src_rail": self.src_rail,
+            "dst_rail": self.dst_rail,
+            "sport": self.sport,
+            "dport": self.dport,
+            "plane": self.plane,
+            "num_paths": self.num_paths,
+            "sport_span": self.sport_span,
+            "fail_links": list(self.fail_links),
+            "fail_switches": list(self.fail_switches),
+        }
+        return out
+
+    @classmethod
+    def from_jsonable(cls, obj: Any) -> "Query":
+        if not isinstance(obj, dict):
+            raise QueryError(f"query must be an object, got {type(obj).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(obj) - known)
+        if unknown:
+            raise QueryError(f"unknown query fields: {', '.join(unknown)}")
+        for req in ("kind", "src_host", "dst_host"):
+            if req not in obj:
+                raise QueryError(f"query is missing required field {req!r}")
+        kw = dict(obj)
+        try:
+            kw["fail_links"] = tuple(int(x) for x in kw.get("fail_links", ()))
+        except (TypeError, ValueError):
+            raise QueryError("fail_links must be a list of link ids")
+        raw_sw = kw.get("fail_switches", ())
+        if isinstance(raw_sw, str) or not all(
+            isinstance(s, str) for s in raw_sw
+        ):
+            raise QueryError("fail_switches must be a list of switch names")
+        kw["fail_switches"] = tuple(raw_sw)
+        for name in ("src_rail", "dst_rail", "sport", "dport",
+                     "num_paths", "sport_span"):
+            if name in kw:
+                try:
+                    kw[name] = int(kw[name])
+                except (TypeError, ValueError):
+                    raise QueryError(f"{name} must be an integer")
+        if kw.get("plane") is not None:
+            try:
+                kw["plane"] = int(kw["plane"])
+            except (TypeError, ValueError):
+                raise QueryError("plane must be an integer or null")
+        try:
+            return cls(**kw)
+        except TypeError as err:
+            raise QueryError(str(err))

@@ -1,0 +1,383 @@
+"""Resident serving state: warm router, probe router, batch executor.
+
+``ServeState`` pins everything the daemon needs hot: the topology, its
+compiled FIB, and the per-topology :func:`~repro.routing.shared_router`
+whose caches stay warm across requests. What-if queries (any query
+carrying a failure set) are evaluated under
+``Topology.transient_state()`` against a dedicated *probe* router with
+its own caches, so the live router's memo and stats are byte-identical
+to a process that never probed -- the fork-and-probe contract
+(``docs/serving.md``), regression-tested in
+``tests/test_serve_forkprobe.py``.
+
+``execute_batch`` is the batched engine behind the micro-batcher:
+dedupe by query key, dispatch all plain path lookups through
+``route_many`` (one epoch sync for the whole batch), group what-ifs by
+failure set so each set pays one snapshot/restore, and fan results out
+to duplicate slots. Results are byte-identical to calling
+:meth:`ServeState.execute` serially, which the bench and the serve
+tests both assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.entities import Nic
+from ..core.errors import RoutingError, TopologyError
+from ..core.topology import Topology
+from ..routing import (
+    CachedRouter,
+    FiveTuple,
+    Router,
+    find_paths,
+    reset_shared_router,
+    shared_router,
+)
+from .query import Query, QueryError
+
+Result = Dict[str, Any]
+
+
+class ServeState:
+    """Warm routing/solver state shared by every request.
+
+    ``fresh=True`` installs a cold shared router (bench phases use it
+    to measure cold-to-warm behaviour on one topology object).
+    """
+
+    def __init__(self, topo: Topology, recorder=None, fresh: bool = False):
+        self.topo = topo
+        self.recorder = recorder
+        if fresh:
+            self.router = reset_shared_router(topo, recorder=recorder)
+        else:
+            self.router = shared_router(topo, recorder=recorder)
+        # What-if probes run against this router, never the live one:
+        # its caches absorb the probe-window churn (and stay useful
+        # across repeated failure sets thanks to net-change
+        # invalidation) while the live router's bytes never move.
+        self.probe_router = CachedRouter(topo)  # repro: noqa[LINT006]
+        self._oracle: Optional[Router] = None
+        # (host, rail) -> Nic is structural: valid until a rewiring
+        # bumps structure_epoch, independent of link up/down state
+        self._nic_memo: Dict[Tuple[str, int], Nic] = {}
+        self._nic_structure_cursor = topo.structure_epoch
+        # Serving-layer memos (see _sync_serve_memos for validity):
+        # - _request_memo: Query -> prebuilt RouteRequest (structural);
+        # - _shape_memo: Query -> (FlowPath, result dict) -- the JSON
+        #   shaping of a path result, revalidated per use by FlowPath
+        #   *identity* against what route_many returns, so the route
+        #   cache keeps its per-link invalidation precision and its
+        #   stats see every lookup;
+        # - _result_memo: full results for planes/repac/residual
+        #   queries, wholesale-cleared on any *net* link-state change
+        #   (what-if probe+restore nets to zero and keeps them warm).
+        self._request_memo: Dict[Query, Tuple[Nic, Nic, FiveTuple, Optional[int]]] = {}
+        self._shape_memo: Dict[Query, Tuple[object, Result]] = {}
+        self._result_memo: Dict[Query, Result] = {}
+        self._serve_state_cursor = topo.state_epoch
+        self._serve_structure_cursor = topo.structure_epoch
+
+    # ------------------------------------------------------------------
+    # single-query (serial reference) execution
+    # ------------------------------------------------------------------
+    def execute(self, query: Query) -> Result:
+        """Evaluate one query; the serial reference semantics."""
+        self._sync_serve_memos()
+        if query.is_what_if:
+            return self._execute_what_if(self.probe_router, query)
+        return self._eval_now(self.router, query)
+
+    def execute_oracle(self, query: Query) -> Result:
+        """Evaluate against the uncached hop-by-hop walker.
+
+        The differential oracle for the bench: byte-identical results,
+        no FIB, no memo, every query pays the full derivation.
+        """
+        if self._oracle is None:
+            self._oracle = Router(self.topo)  # repro: noqa[LINT006]
+        if query.is_what_if:
+            return self._execute_what_if(self._oracle, query)
+        return self._eval_now(self._oracle, query)
+
+    # ------------------------------------------------------------------
+    # batched execution
+    # ------------------------------------------------------------------
+    def execute_batch(self, queries: Sequence[Query]) -> List[Result]:
+        """Evaluate a micro-batch; byte-identical to serial `execute`.
+
+        Distinct queries are evaluated once and fanned out to duplicate
+        slots. Plain path lookups ride one ``route_many`` call (single
+        epoch sync, intra-batch dedupe) with only the JSON *shaping*
+        memoized; planes/RePaC/residual/what-if results come from the
+        net-change-guarded result memo when warm. What-ifs are grouped
+        by failure set so each set pays one transient snapshot/restore.
+
+        Returned result dicts may be shared across requests and
+        batches -- treat them as immutable.
+        """
+        self._sync_serve_memos()
+        resolved: Dict[Query, Result] = {}
+        distinct: List[Query] = []
+        for q in queries:
+            if q not in resolved:
+                resolved[q] = _PENDING
+                distinct.append(q)
+
+        live_paths: List[Query] = []
+        for q in distinct:
+            if q.kind == "path" and not q.is_what_if:
+                live_paths.append(q)
+            else:
+                memo = self._result_memo.get(q)
+                if memo is not None:
+                    resolved[q] = memo
+        if live_paths:
+            self._route_path_group_synced(self.router, live_paths, resolved)
+
+        what_if_groups: Dict[Tuple[Tuple[int, ...], Tuple[str, ...]], List[Query]] = {}
+        for q in distinct:
+            if resolved[q] is not _PENDING:
+                continue
+            if q.is_what_if:
+                what_if_groups.setdefault(q.failure_set, []).append(q)
+            else:
+                res = self._eval_now(self.router, q)
+                self._result_memo[q] = res
+                resolved[q] = res
+
+        for group in what_if_groups.values():
+            err = self._check_failure_set(group[0])
+            if err is not None:
+                for q in group:
+                    resolved[q] = _error(q, err)
+                continue
+            with self.topo.transient_state():
+                self._apply_failures(group[0])
+                for q in group:
+                    res = self._eval_now(self.probe_router, q)
+                    self._result_memo[q] = res
+                    resolved[q] = res
+
+        return [resolved[q] for q in queries]
+
+    def _sync_serve_memos(self) -> None:
+        """Expire the serving-layer memos against the topology epochs.
+
+        Same net-change rule as the route cache: a link that toggled an
+        even number of times since the cursor is back in the state the
+        memoised results were computed under, so what-if probe+restore
+        cycles (our own transient blocks included) keep the memos warm.
+        Any *net* change wholesale-clears the result memo -- coarse, but
+        the precise per-link machinery lives in the route cache, which
+        path queries still consult on every batch. Structural changes
+        clear everything, the request/shape memos included.
+        """
+        topo = self.topo
+        if self._serve_structure_cursor != topo.structure_epoch:
+            self._request_memo.clear()
+            self._shape_memo.clear()
+            self._result_memo.clear()
+            self._serve_structure_cursor = topo.structure_epoch
+            self._serve_state_cursor = topo.state_epoch
+            return
+        if self._serve_state_cursor != topo.state_epoch:
+            counts: Dict[int, int] = {}
+            for lid in topo.link_state_changes(self._serve_state_cursor):
+                counts[lid] = counts.get(lid, 0) + 1
+            if any(n % 2 for n in counts.values()):
+                self._result_memo.clear()
+            self._serve_state_cursor = topo.state_epoch
+
+    def _route_path_group_synced(
+        self,
+        router: CachedRouter,
+        group: List[Query],
+        resolved: Dict[Query, Result],
+    ) -> None:
+        """Resolve the batch's live path queries through ``route_many``.
+
+        Every query consults the route cache (stats and per-link
+        invalidation stay exact); only the JSON shaping is memoised,
+        revalidated by FlowPath identity -- the cache hands back the
+        same object until the entry is invalidated, and the memo's
+        strong reference pins that object so a recycled ``id`` can
+        never alias a stale entry.
+        """
+        requests: List[Tuple[Nic, Nic, FiveTuple, Optional[int]]] = []
+        routable: List[Query] = []
+        for q in group:
+            req = self._request_memo.get(q)
+            if req is None:
+                try:
+                    src, dst = self._nics(q)
+                except QueryError as err:
+                    resolved[q] = _error(q, str(err))
+                    continue
+                req = (src, dst, FiveTuple(src.ip, dst.ip, q.sport, q.dport),
+                       q.plane)
+                self._request_memo[q] = req
+            requests.append(req)
+            routable.append(q)
+        paths = router.route_many(requests, strict=False)
+        shape = self._shape_memo
+        for q, req, path in zip(routable, requests, paths):
+            if path is not None:
+                memo = shape.get(q)
+                if memo is not None and memo[0] is path:
+                    resolved[q] = memo[1]
+                else:
+                    res = _path_result(q, path)
+                    shape[q] = (path, res)
+                    resolved[q] = res
+            else:
+                # re-ask serially for the cached error message
+                try:
+                    router.path_for(req[0], req[1], req[2], req[3])
+                except RoutingError as err:
+                    resolved[q] = _error(q, str(err))
+
+    # ------------------------------------------------------------------
+    # what-if plumbing
+    # ------------------------------------------------------------------
+    def _check_failure_set(self, query: Query) -> Optional[str]:
+        for lid in query.fail_links:
+            if lid not in self.topo.links:
+                return f"unknown link id {lid}"
+        for name in query.fail_switches:
+            if name not in self.topo.switches:
+                return f"unknown switch {name!r}"
+        return None
+
+    def _apply_failures(self, query: Query) -> None:
+        for name in query.fail_switches:
+            self.topo.fail_node(name)
+        for lid in query.fail_links:
+            self.topo.set_link_state(lid, False)
+
+    def _execute_what_if(self, router: Router, query: Query) -> Result:
+        err = self._check_failure_set(query)
+        if err is not None:
+            return _error(query, err)
+        with self.topo.transient_state():
+            self._apply_failures(query)
+            return self._eval_now(router, query)
+
+    # ------------------------------------------------------------------
+    # per-kind evaluation (state already forked if what-if)
+    # ------------------------------------------------------------------
+    def _eval_now(self, router: Router, query: Query) -> Result:
+        try:
+            src, dst = self._nics(query)
+        except QueryError as err:
+            return _error(query, str(err))
+        if query.kind == "path":
+            ft = FiveTuple(src.ip, dst.ip, query.sport, query.dport)
+            try:
+                path = router.path_for(src, dst, ft, query.plane)
+            except RoutingError as err:
+                return _error(query, str(err))
+            return _path_result(query, path)
+        if query.kind == "planes":
+            return {
+                "ok": True,
+                "kind": "planes",
+                "planes": list(router.usable_planes(src, dst)),
+            }
+        # repac / residual share the disjoint-path search
+        try:
+            found = find_paths(
+                router, src, dst, query.dport, query.num_paths,
+                plane=query.plane, sport_span=query.sport_span,
+            )
+        except RoutingError as err:
+            return _error(query, str(err))
+        paths = [
+            {
+                "sport": probe.sport,
+                "plane": probe.path.plane,
+                "nodes": list(probe.path.nodes),
+                "dirlinks": list(probe.path.dirlinks),
+            }
+            for probe in found.probes
+        ]
+        if query.kind == "repac":
+            return {
+                "ok": True,
+                "kind": "repac",
+                "attempts": found.attempts,
+                "found": len(paths),
+                "paths": paths,
+            }
+        bottlenecks = [
+            min(self.topo.links[d // 2].gbps for d in probe.path.dirlinks)
+            for probe in found.probes
+        ]
+        return {
+            "ok": True,
+            "kind": "residual",
+            "attempts": found.attempts,
+            "found": len(paths),
+            "bottlenecks_gbps": bottlenecks,
+            "residual_gbps": sum(bottlenecks),
+            "planes": list(router.usable_planes(src, dst)),
+        }
+
+    def _nics(self, query: Query) -> Tuple[Nic, Nic]:
+        src = self._nic(query.src_host, query.src_rail)
+        dst = self._nic(query.dst_host, query.dst_rail)
+        return src, dst
+
+    def _nic(self, host: str, rail: int) -> Nic:
+        if self._nic_structure_cursor != self.topo.structure_epoch:
+            self._nic_memo.clear()
+            self._nic_structure_cursor = self.topo.structure_epoch
+        key = (host, rail)
+        nic = self._nic_memo.get(key)
+        if nic is not None:
+            return nic
+        h = self.topo.hosts.get(host)
+        if h is None:
+            raise QueryError(f"unknown host {host!r}")
+        try:
+            nic = h.nic_for_rail(rail)
+        except (KeyError, IndexError, ValueError, TopologyError):
+            raise QueryError(f"host {host!r} has no NIC on rail {rail}")
+        self._nic_memo[key] = nic
+        return nic
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        live = self.router.stats
+        probe = self.probe_router.stats
+        return {
+            "topology": {
+                "hosts": len(self.topo.hosts),
+                "switches": len(self.topo.switches),
+                "links": len(self.topo.links),
+                "state_epoch": self.topo.state_epoch,
+                "structure_epoch": self.topo.structure_epoch,
+            },
+            "cache": dict(live.as_dict(), hit_rate=live.hit_rate),
+            "probe_cache": dict(probe.as_dict(), hit_rate=probe.hit_rate),
+        }
+
+
+#: sentinel marking a distinct query whose result is not computed yet
+_PENDING: Result = {}
+
+
+def _error(query: Query, message: str) -> Result:
+    return {"ok": False, "kind": query.kind, "error": message}
+
+
+def _path_result(query: Query, path) -> Result:
+    return {
+        "ok": True,
+        "kind": "path",
+        "plane": path.plane,
+        "nodes": list(path.nodes),
+        "dirlinks": list(path.dirlinks),
+        "hops": len(path.nodes) - 1,
+    }

@@ -472,17 +472,20 @@ ALLOWED_IMPORTS: Dict[str, Set[str]] = {
                 "collective", "training", "telemetry", "reliability"},
     "engine": {"core", "obs", "cluster", "collective", "fabric",
                "reliability", "routing", "topos", "training", "analysis",
-               "fleet"},
+               "fleet", "serve"},
     # fleet composes the substrates into multi-job cluster scenarios;
     # engine is allowed for derive_seed only (spec module, no cycle)
     "fleet": {"core", "obs", "topos", "routing", "fabric", "collective",
               "training", "workloads", "cluster", "engine"},
     "staticcheck": {"core", "obs", "topos", "telemetry", "routing",
                     "access"},
+    # the serving layer fronts warm routing state over HTTP; topos is
+    # for the bench's fabric builder only
+    "serve": {"core", "obs", "topos", "routing"},
     "viz": {"core", "obs", "topos", "routing", "fabric"},
     "cli": {"core", "obs", "topos", "routing", "cluster", "training",
             "reliability", "engine", "staticcheck", "viz", "collective",
-            "fleet"},
+            "fleet", "serve"},
     # top-level modules: the package root re-exports the user-facing
     # surface; __main__ just dispatches into the CLI
     "repro": {"core", "topos", "cluster"},

@@ -136,19 +136,23 @@ class TestPreciseInvalidation:
             cached.path_for(src, dst, make_ft(src, dst))
         warm_misses = cached.stats.misses
         assert cached.stats.invalidations == 0
-        # flap exactly one destination's plane-0 access leg: only routes
+        # fail exactly one destination's plane-0 access leg: only routes
         # to that NIC depend on it
         victim = dsts[0]
         lid = leg_for_plane(cached, victim, 0).link.link_id
         topo.set_link_state(lid, False)
-        topo.set_link_state(lid, True)
         for dst in dsts[1:]:
             cached.path_for(src, dst, make_ft(src, dst))
         # the unaffected routes were all cache hits...
         assert cached.stats.misses == warm_misses
-        # ...and the victim's route was dropped and re-derived
+        # ...and the victim's route was dropped and re-derived (failed
+        # over to the surviving plane)
         cached.path_for(src, victim, make_ft(src, victim))
         assert cached.stats.misses == warm_misses + 1
+        # the repair drops the degraded entry again
+        topo.set_link_state(lid, True)
+        cached.path_for(src, victim, make_ft(src, victim))
+        assert cached.stats.misses == warm_misses + 2
         assert 0 < cached.stats.invalidations < len(dsts)
         # counters mirror the stats into the obs registry
         inval = rec.metrics.counter("route_cache.invalidations").value
@@ -356,3 +360,75 @@ class TestBatchAndSharing:
         assert other is not router
         fresh = reset_shared_router(topo)
         assert fresh is not other and shared_router(topo) is fresh
+
+    def test_route_many_dedupes_within_batch(self, hpn_mutable):
+        """Satellite: duplicate requests in one batch miss exactly once."""
+        topo = hpn_mutable
+        cached = CachedRouter(topo)
+        src = rail_nic(topo, "pod0/seg0/host0")
+        dsts = [rail_nic(topo, f"pod0/seg1/host{i}") for i in range(3)]
+        distinct = [(src, d, make_ft(src, d), None) for d in dsts]
+        requests = distinct * 4  # 3 distinct keys x 4 copies each
+        paths = cached.route_many(requests)
+        # one derivation per distinct key; the other 9 slots are hits
+        assert cached.stats.misses == len(distinct)
+        assert cached.stats.hits == len(requests) - len(distinct)
+        # fan-out returns the same FlowPath object for duplicate keys
+        for i, path in enumerate(paths):
+            assert path is paths[i % len(distinct)]
+        # a second batch is all hits
+        cached.route_many(requests)
+        assert cached.stats.misses == len(distinct)
+        assert cached.stats.hits == 2 * len(requests) - len(distinct)
+
+
+class TestSharedRouterRegistry:
+    """Satellite: the weakref registry must track router lifetime."""
+
+    def test_registry_lists_live_router(self, hpn_mutable):
+        from repro.routing import active_shared_routers
+
+        topo = hpn_mutable
+        router = shared_router(topo)
+        assert router in active_shared_routers()
+        fresh = reset_shared_router(topo)
+        live = active_shared_routers()
+        assert fresh in live and router not in live
+
+    def test_dead_topology_drops_out_after_gc(self):
+        import gc
+
+        from repro.routing import active_shared_routers
+        from repro.topos import HpnSpec, build_hpn
+
+        topo = build_hpn(HpnSpec(
+            segments_per_pod=2, hosts_per_segment=4, aggs_per_plane=2,
+        ))
+        router = shared_router(topo)
+        rid = id(router)
+        assert any(r is router for r in active_shared_routers())
+        del router
+        del topo  # the only strong ref to the router lived on the topo
+        gc.collect()
+        assert all(id(r) != rid for r in active_shared_routers())
+
+    def test_evict_frees_router_and_reports(self, hpn_mutable):
+        import gc
+        import weakref
+
+        from repro.routing import active_shared_routers, evict_shared_router
+
+        topo = hpn_mutable
+        router = shared_router(topo)
+        ref = weakref.ref(router)
+        assert evict_shared_router(topo) is True
+        assert router not in active_shared_routers()
+        del router
+        gc.collect()
+        # eviction released the topology's strong reference: the router
+        # (FIB + cache) is actually freed, not just unlisted
+        assert ref() is None
+        # nothing installed now -> False; next shared_router is cold
+        assert evict_shared_router(topo) is False
+        cold = shared_router(topo)
+        assert cold.stats.hits == 0 and cold.stats.misses == 0

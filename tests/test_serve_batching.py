@@ -1,0 +1,160 @@
+"""MicroBatcher: flush triggers, dedupe, fan-out, stats, failure.
+
+Pure unit tests against a scripted executor -- no topology. The
+executor records the batches it receives so the tests can assert the
+coalescing behaviour (size flush, deadline flush, drain flush,
+duplicate futures) independent of routing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import Recorder
+from repro.serve import BatchStats, MicroBatcher
+from repro.serve.query import Query
+
+
+def q(i: int) -> Query:
+    return Query(kind="path", src_host=f"h{i}", dst_host="dst")
+
+
+class ScriptedExecutor:
+    def __init__(self):
+        self.batches = []
+
+    def __call__(self, batch):
+        self.batches.append(list(batch))
+        return [{"echo": query.src_host} for query in batch]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFlushTriggers:
+    def test_full_batch_flushes_immediately(self):
+        ex = ScriptedExecutor()
+
+        async def main():
+            b = MicroBatcher(ex, max_batch=4, max_delay_s=60.0)
+            results = await asyncio.gather(*(b.submit(q(i)) for i in range(4)))
+            return b, results
+
+        b, results = run(main())
+        # the fourth submit tripped the size flush -- no deadline wait
+        assert ex.batches == [[q(0), q(1), q(2), q(3)]]
+        assert results == [{"echo": f"h{i}"} for i in range(4)]
+        assert b.stats.flushed_full == 1
+        assert b.stats.flushed_deadline == 0
+
+    def test_deadline_flushes_partial_batch(self):
+        ex = ScriptedExecutor()
+
+        async def main():
+            b = MicroBatcher(ex, max_batch=100, max_delay_s=0.01)
+            results = await asyncio.gather(b.submit(q(0)), b.submit(q(1)))
+            return b, results
+
+        b, results = run(main())
+        assert ex.batches == [[q(0), q(1)]]
+        assert results == [{"echo": "h0"}, {"echo": "h1"}]
+        assert b.stats.flushed_deadline == 1
+
+    def test_explicit_flush_drains_pending(self):
+        ex = ScriptedExecutor()
+
+        async def main():
+            b = MicroBatcher(ex, max_batch=100, max_delay_s=60.0)
+            task = asyncio.ensure_future(b.submit(q(0)))
+            await asyncio.sleep(0)  # let submit() park in the window
+            b.flush()
+            return b, await task
+
+        b, result = run(main())
+        assert result == {"echo": "h0"}
+        assert b.stats.flushed_drain == 1
+
+    def test_consecutive_windows_are_independent(self):
+        ex = ScriptedExecutor()
+
+        async def main():
+            b = MicroBatcher(ex, max_batch=2, max_delay_s=60.0)
+            await asyncio.gather(b.submit(q(0)), b.submit(q(1)))
+            await asyncio.gather(b.submit(q(2)), b.submit(q(3)))
+            return b
+
+        b = run(main())
+        assert ex.batches == [[q(0), q(1)], [q(2), q(3)]]
+        assert b.stats.batches == 2
+        assert b.stats.max_batch_seen == 2
+
+
+class TestDedupe:
+    def test_duplicates_share_one_future_and_result(self):
+        ex = ScriptedExecutor()
+
+        async def main():
+            b = MicroBatcher(ex, max_batch=3, max_delay_s=0.01)
+            dup = q(7)
+            results = await asyncio.gather(
+                b.submit(dup), b.submit(dup), b.submit(dup), b.submit(q(8))
+            )
+            return b, results
+
+        b, results = run(main())
+        # the executor saw 2 distinct queries, not 4 submissions
+        assert ex.batches == [[q(7), q(8)]]
+        assert results[0] is results[1] is results[2]
+        assert b.stats.requests == 4
+        assert b.stats.deduped == 2
+        assert b.stats.batched_queries == 2
+
+    def test_dedupe_metrics_reach_recorder(self):
+        ex = ScriptedExecutor()
+        rec = Recorder()
+
+        async def main():
+            b = MicroBatcher(ex, max_batch=2, max_delay_s=0.01,
+                             recorder=rec)
+            await asyncio.gather(b.submit(q(0)), b.submit(q(0)),
+                                 b.submit(q(1)))
+            return b
+
+        b = run(main())
+        assert rec.metrics.counter("serve.deduped").value == b.stats.deduped
+        hist = rec.metrics.histogram(
+            "serve.batch_size", buckets=[1, 2, 4, 8, 16, 32, 64, 128, 256]
+        )
+        assert hist.count == b.stats.batches
+
+
+class TestFailureAndStats:
+    def test_executor_exception_propagates_to_all_waiters(self):
+        def boom(batch):
+            raise RuntimeError("engine fell over")
+
+        async def main():
+            b = MicroBatcher(boom, max_batch=2, max_delay_s=60.0)
+            return await asyncio.gather(
+                b.submit(q(0)), b.submit(q(1)), return_exceptions=True
+            )
+
+        results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_max_batch_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(ScriptedExecutor(), max_batch=0)
+
+    def test_stats_as_dict(self):
+        stats = BatchStats(
+            requests=10, deduped=2, batches=2, flushed_full=1,
+            flushed_deadline=1, max_batch_seen=6, batched_queries=8,
+        )
+        d = stats.as_dict()
+        assert d["mean_batch_size"] == 4.0
+        assert d["requests"] == 10 and d["deduped"] == 2
+        assert BatchStats().as_dict()["mean_batch_size"] == 0.0

@@ -1,0 +1,186 @@
+"""ServeDaemon end to end: a real daemon on localhost, a real client.
+
+One module-scoped daemon (port 0, background thread running its own
+event loop) serves every test; the blocking :class:`ServeClient`
+drives it over actual sockets. Covers the endpoint surface, request
+coalescing through ``/v1/batch``, the Prometheus exposition, error
+mapping, and graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import Recorder
+from repro.obs.export import parse_prometheus_text
+from repro.serve import Query, ServeClient, ServeDaemon, ServeState
+from repro.topos import HpnSpec, build_hpn
+
+
+class DaemonHarness:
+    """Run a ServeDaemon on a private event loop in a thread."""
+
+    def __init__(self):
+        import asyncio
+
+        self.topo = build_hpn(HpnSpec(
+            segments_per_pod=2, hosts_per_segment=4, aggs_per_plane=2,
+        ))
+        self.recorder = Recorder()
+        self.state = ServeState(self.topo, recorder=self.recorder,
+                                fresh=True)
+        self.daemon = ServeDaemon(
+            self.state, host="127.0.0.1", port=0,
+            max_batch=8, max_delay_s=0.002, recorder=self.recorder,
+        )
+        self._ready = threading.Event()
+        self._asyncio = asyncio
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            await self.daemon.start()
+            self._ready.set()
+            await self.daemon.serve_until_stopped()
+
+        self._asyncio.run(main())
+
+    def start(self):
+        self.thread.start()
+        assert self._ready.wait(10.0), "daemon never came up"
+        return self
+
+    def stop(self):
+        self.daemon.request_stop()
+        self.thread.join(10.0)
+        assert not self.thread.is_alive()
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    harness = DaemonHarness().start()
+    yield harness
+    if harness.thread.is_alive():
+        harness.stop()
+
+
+@pytest.fixture()
+def client(daemon):
+    with ServeClient("127.0.0.1", daemon.daemon.port, timeout=10.0) as c:
+        yield c
+
+
+def hosts(daemon):
+    return sorted(h.name for h in daemon.topo.active_hosts())
+
+
+class TestEndpoints:
+    def test_healthz(self, daemon, client):
+        health = client.healthz()
+        assert health["ok"] is True
+        assert health["hosts"] == len(daemon.topo.hosts)
+        assert health["uptime_s"] >= 0
+
+    def test_path_query_round_trip(self, daemon, client):
+        a, b = hosts(daemon)[0], hosts(daemon)[-1]
+        res = client.query(Query(kind="path", src_host=a, dst_host=b))
+        assert res["ok"] is True and res["kind"] == "path"
+        assert res["nodes"][0] != res["nodes"][-1]
+        assert res["hops"] == len(res["nodes"]) - 1
+        # dict wire shape is accepted too, and answers identically
+        again = client.query({"kind": "path", "src_host": a, "dst_host": b})
+        assert again == res
+
+    def test_every_kind_over_the_wire(self, daemon, client):
+        a, b = hosts(daemon)[0], hosts(daemon)[-1]
+        planes = client.query(Query(kind="planes", src_host=a, dst_host=b))
+        assert planes["planes"] == [0, 1]
+        repac = client.query(Query(
+            kind="repac", src_host=a, dst_host=b, num_paths=2,
+            sport_span=24,
+        ))
+        assert repac["ok"] is True and repac["found"] >= 1
+        lid = sorted(daemon.topo.links)[0]
+        residual = client.query(Query(
+            kind="residual", src_host=a, dst_host=b, num_paths=2,
+            sport_span=16, fail_links=(lid,),
+        ))
+        assert residual["ok"] is True
+        assert residual["residual_gbps"] == sum(
+            residual["bottlenecks_gbps"]
+        )
+
+    def test_batch_endpoint_coalesces(self, daemon, client):
+        a, b = hosts(daemon)[0], hosts(daemon)[-1]
+        queries = [
+            Query(kind="path", src_host=a, dst_host=b, sport=49152 + i % 3)
+            for i in range(9)
+        ]
+        before = daemon.daemon.batcher.stats.batches
+        results = client.batch(queries)
+        assert len(results) == 9
+        # 3 distinct sports -> results repeat with period 3
+        assert results == results[:3] * 3
+        # the 9 concurrent submits coalesced instead of 9 singletons
+        grew = daemon.daemon.batcher.stats.batches - before
+        assert 1 <= grew <= 3
+        assert daemon.daemon.batcher.stats.deduped >= 6
+
+    def test_bad_queries_get_400(self, daemon, client):
+        with pytest.raises(RuntimeError, match="400"):
+            client.query({"kind": "teleport", "src_host": "a",
+                          "dst_host": "b"})
+        with pytest.raises(RuntimeError, match="400"):
+            client.query({"kind": "path"})
+        # unknown host is a *valid* query with an error result, not a 400
+        res = client.query({"kind": "path", "src_host": "ghost",
+                            "dst_host": "ghost2"})
+        assert res["ok"] is False and "unknown host" in res["error"]
+
+    def test_unknown_route_is_404(self, daemon, client):
+        status, body = client._request("GET", "/nope", None)
+        assert status == 404
+
+    def test_stats_exposes_cache_and_batcher(self, daemon, client):
+        a, b = hosts(daemon)[0], hosts(daemon)[1]
+        client.query(Query(kind="path", src_host=a, dst_host=b))
+        stats = client.stats()
+        assert stats["topology"]["hosts"] == len(daemon.topo.hosts)
+        assert stats["batch"]["requests"] >= 1
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+        assert stats["qps"] >= 0
+
+    def test_metrics_parse_and_carry_serve_families(self, daemon, client):
+        a, b = hosts(daemon)[0], hosts(daemon)[-1]
+        client.query(Query(kind="path", src_host=a, dst_host=b))
+        families = parse_prometheus_text(client.metrics())
+        for name in ("serve_qps", "serve_cache_hit_rate",
+                     "serve_requests", "serve_http_requests",
+                     "serve_batch_size"):
+            assert name in families, sorted(families)
+        kinds = {
+            labels.get("kind")
+            for _, labels, _ in families["serve_requests"]["samples"]
+        }
+        assert "path" in kinds
+        hit_rate = families["serve_cache_hit_rate"]["samples"][0][2]
+        assert 0.0 <= hit_rate <= 1.0
+        counts = [
+            value
+            for name, _labels, value in families["serve_batch_size"]["samples"]
+            if name.endswith("_count")
+        ]
+        assert counts and counts[0] >= 1
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_stops_daemon(self):
+        harness = DaemonHarness().start()
+        with ServeClient("127.0.0.1", harness.daemon.port,
+                         timeout=10.0) as c:
+            assert c.healthz()["ok"] is True
+            assert c.shutdown()["stopping"] is True
+        harness.thread.join(10.0)
+        assert not harness.thread.is_alive()

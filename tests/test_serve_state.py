@@ -1,0 +1,213 @@
+"""ServeState: serial/batched/oracle byte-identity and memo hygiene.
+
+The serving contract is differential: ``execute_batch`` (dedupe +
+``route_many`` + grouped transient blocks + serving-layer memos) must
+return dicts equal byte for byte to serial :meth:`ServeState.execute`,
+which in turn must match the uncached oracle -- including error
+results and what-if queries. The memos are an implementation detail
+that must never change an answer: real failures expire them, probe
+cycles keep them warm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import KINDS, Query, QueryError, ServeState
+from repro.serve.query import Query as Q
+
+
+def agg_link_id(topo):
+    """A deterministic tor-agg link id (always rerouteable around)."""
+    for lid in sorted(topo.links):
+        link = topo.links[lid]
+        ends = {link.a.node, link.b.node}
+        if any(n.startswith("tor") or "/tor" in n for n in ends) and any(
+            "agg" in n for n in ends
+        ):
+            return lid
+    return sorted(topo.links)[-1]
+
+
+def mixed_workload(topo):
+    """One query of every kind, plus dupes, errors, and what-ifs."""
+    hosts = sorted(h.name for h in topo.active_hosts())
+    a, b, c = hosts[0], hosts[-1], hosts[len(hosts) // 2]
+    lid = agg_link_id(topo)
+    queries = [
+        Query(kind="path", src_host=a, dst_host=b),
+        Query(kind="path", src_host=a, dst_host=b, sport=49153),
+        Query(kind="path", src_host=a, dst_host=c, plane=1),
+        Query(kind="planes", src_host=a, dst_host=b),
+        Query(kind="repac", src_host=a, dst_host=b, num_paths=2,
+              sport_span=24),
+        Query(kind="residual", src_host=c, dst_host=b, num_paths=2,
+              sport_span=24),
+        # what-ifs: one valid, one unknown link, one unknown switch
+        Query(kind="path", src_host=a, dst_host=b, fail_links=(lid,)),
+        Query(kind="residual", src_host=a, dst_host=b, num_paths=2,
+              sport_span=16, fail_links=(lid,)),
+        Query(kind="path", src_host=a, dst_host=b, fail_links=(10**9,)),
+        Query(kind="planes", src_host=a, dst_host=b,
+              fail_switches=("no-such-switch",)),
+        # plain errors: unknown host, missing rail
+        Query(kind="path", src_host="no-such-host", dst_host=b),
+        Query(kind="path", src_host=a, dst_host=b, dst_rail=999),
+    ]
+    # duplicate-heavy tail, deliberately interleaved
+    return queries + queries[:6] + [queries[0]] * 3
+
+
+class TestSerialExecution:
+    def test_serial_matches_oracle_for_every_kind(self, hpn_mutable):
+        state = ServeState(hpn_mutable, fresh=True)
+        for q in mixed_workload(hpn_mutable):
+            assert state.execute(q) == state.execute_oracle(q), q
+
+    def test_error_results_are_structured(self, hpn_mutable):
+        state = ServeState(hpn_mutable, fresh=True)
+        res = state.execute(
+            Query(kind="path", src_host="nope", dst_host="nope2")
+        )
+        assert res == {
+            "ok": False, "kind": "path", "error": "unknown host 'nope'"
+        }
+        res = state.execute(
+            Query(kind="planes", src_host="nope", dst_host="nope2",
+                  fail_links=(10**9,))
+        )
+        assert res["ok"] is False and "unknown link" in res["error"]
+
+
+class TestBatchedExecution:
+    def test_batch_matches_serial_order_and_bytes(self, hpn_mutable):
+        workload = mixed_workload(hpn_mutable)
+        serial_state = ServeState(hpn_mutable, fresh=True)
+        want = [serial_state.execute(q) for q in workload]
+        batch_state = ServeState(hpn_mutable, fresh=True)
+        got = batch_state.execute_batch(workload)
+        assert got == want
+
+    def test_batch_dedupes_and_fans_out(self, hpn_mutable):
+        state = ServeState(hpn_mutable, fresh=True)
+        hosts = sorted(h.name for h in hpn_mutable.active_hosts())
+        q = Query(kind="path", src_host=hosts[0], dst_host=hosts[1])
+        results = state.execute_batch([q, q, q, q])
+        assert results[0] is results[1] is results[2] is results[3]
+        # serving-layer dedupe: one distinct key -> the router sees one
+        # lookup, the other three slots fan out from the resolved dict
+        assert state.router.stats.misses == 1
+        assert state.router.stats.hits == 0
+        # the next batch re-consults the route cache (a hit)
+        state.execute_batch([q, q])
+        assert state.router.stats.misses == 1
+        assert state.router.stats.hits == 1
+
+    def test_repeat_batches_hit_cache_not_rederive(self, hpn_mutable):
+        state = ServeState(hpn_mutable, fresh=True)
+        workload = mixed_workload(hpn_mutable)
+        first = state.execute_batch(workload)
+        misses = state.router.stats.misses
+        second = state.execute_batch(workload)
+        assert second == first
+        assert state.router.stats.misses == misses
+
+    def test_result_memo_expires_on_real_failure(self, hpn_mutable):
+        topo = hpn_mutable
+        state = ServeState(topo, fresh=True)
+        hosts = sorted(h.name for h in topo.active_hosts())
+        q = Query(kind="planes", src_host=hosts[0], dst_host=hosts[-1])
+        before = state.execute_batch([q])[0]
+        assert before["planes"] == [0, 1]
+        # fail one of the destination's access legs for real: the memo
+        # must not serve the pre-failure plane list
+        dst = topo.hosts[hosts[-1]].nic_for_rail(0)
+        leg = next(
+            leg for leg in state.router.access_legs(dst)
+            if leg.port_index == 1
+        )
+        topo.set_link_state(leg.link.link_id, False)
+        after = state.execute_batch([q])[0]
+        assert after["planes"] == [0]
+        assert after == state.execute_oracle(q)
+        # repair nets the link back -> memoised answer valid again
+        topo.set_link_state(leg.link.link_id, True)
+        assert state.execute_batch([q])[0] == before
+
+    def test_what_if_groups_share_one_transient_block(self, hpn_mutable):
+        topo = hpn_mutable
+        state = ServeState(topo, fresh=True)
+        hosts = sorted(h.name for h in topo.active_hosts())
+        lid = agg_link_id(topo)
+        fail = (lid,)
+        group = [
+            Query(kind="path", src_host=hosts[0], dst_host=hosts[-1],
+                  fail_links=fail),
+            Query(kind="planes", src_host=hosts[0], dst_host=hosts[-1],
+                  fail_links=fail),
+            Query(kind="residual", src_host=hosts[1], dst_host=hosts[-2],
+                  num_paths=2, sport_span=16, fail_links=fail),
+        ]
+        epoch_before = topo.state_epoch
+        got = state.execute_batch(group)
+        # one failure set -> one fail + one restore, whatever the group size
+        assert topo.state_epoch == epoch_before + 2
+        for q, res in zip(group, got):
+            assert res == state.execute_oracle(q)
+
+    def test_batch_leaves_topology_state_restored(self, hpn_mutable):
+        topo = hpn_mutable
+        state = ServeState(topo, fresh=True)
+        link_state = {lid: l.up for lid, l in topo.links.items()}
+        state.execute_batch(mixed_workload(topo))
+        assert {lid: l.up for lid, l in topo.links.items()} == link_state
+        assert all(s.up for s in topo.switches.values())
+
+
+class TestQueryObject:
+    def test_kind_and_field_validation(self):
+        with pytest.raises(QueryError):
+            Query(kind="teleport", src_host="a", dst_host="b")
+        with pytest.raises(QueryError):
+            Query(kind="repac", src_host="a", dst_host="b", num_paths=0)
+        with pytest.raises(QueryError):
+            Query(kind="repac", src_host="a", dst_host="b", sport_span=0)
+
+    def test_jsonable_round_trip(self):
+        q = Query(
+            kind="residual", src_host="a", dst_host="b", src_rail=1,
+            dst_rail=1, sport=50001, num_paths=2, sport_span=16,
+            fail_links=(7, 3, 7), fail_switches=("s2", "s1"),
+        )
+        wire = q.to_jsonable()
+        back = Query.from_jsonable(wire)
+        assert back == q and hash(back) == hash(q)
+        # failure sets are canonicalised (sorted, deduped)
+        assert back.fail_links == (3, 7)
+        assert back.fail_switches == ("s1", "s2")
+
+    def test_from_jsonable_rejects_junk(self):
+        with pytest.raises(QueryError):
+            Query.from_jsonable({"kind": "path", "src_host": "a"})
+        with pytest.raises(QueryError):
+            Query.from_jsonable({
+                "kind": "path", "src_host": "a", "dst_host": "b",
+                "warp_factor": 9,
+            })
+        with pytest.raises(QueryError):
+            Query.from_jsonable([])
+
+    def test_exports(self):
+        assert Q is Query
+        assert KINDS == ("path", "planes", "repac", "residual")
+
+
+class TestStats:
+    def test_stats_shape(self, hpn_mutable):
+        state = ServeState(hpn_mutable, fresh=True)
+        state.execute_batch(mixed_workload(hpn_mutable))
+        stats = state.stats()
+        assert stats["topology"]["hosts"] == len(hpn_mutable.hosts)
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+        assert stats["cache"]["misses"] > 0
+        assert "probe_cache" in stats
